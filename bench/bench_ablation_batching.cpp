@@ -1,0 +1,73 @@
+// Ablation: ECMP segment batching (§5.3's 92-Counts-per-segment).
+//
+// Mass churn across many channels with and without the TCP-mode
+// coalescing window: same protocol outcome, far fewer packets and
+// header bytes on the wire.
+#include "common.hpp"
+#include "express/testbed.hpp"
+
+namespace {
+
+using namespace express;
+
+struct BatchRun {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::size_t residual_state = 0;
+};
+
+BatchRun run(std::optional<sim::Duration> window, std::uint32_t channels) {
+  RouterConfig config;
+  config.batch_window = window;
+  Testbed bed(workload::make_kary_tree(2, 3, {}, 4), config);  // 32 hosts
+  std::vector<ip::ChannelId> chs;
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    chs.push_back(bed.source().allocate_channel());
+  }
+  const std::uint64_t packets0 = bed.net().stats().packets_sent;
+  const std::uint64_t bytes0 = bed.net().stats().bytes_sent;
+  for (std::size_t i = 0; i < bed.receiver_count(); ++i) {
+    for (const auto& ch : chs) bed.receiver(i).new_subscription(ch);
+  }
+  bed.run_for(sim::seconds(2));
+  for (std::size_t i = 0; i < bed.receiver_count(); ++i) {
+    for (const auto& ch : chs) bed.receiver(i).delete_subscription(ch);
+  }
+  bed.run_for(sim::seconds(2));
+  BatchRun out;
+  out.packets = bed.net().stats().packets_sent - packets0;
+  out.bytes = bed.net().stats().bytes_sent - bytes0;
+  out.residual_state = bed.total_fib_entries();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace express::bench;
+
+  banner("ABL-batching / §5.3", "segment coalescing of ECMP messages");
+  Table table({"channels", "mode", "control packets", "wire bytes",
+               "packets saved"});
+  for (std::uint32_t channels : {8u, 32u, 64u}) {
+    const BatchRun plain = run(std::nullopt, channels);
+    const BatchRun batched = run(sim::milliseconds(5), channels);
+    table.row({fmt_int(channels), "1 msg/packet", fmt_int(plain.packets),
+               fmt_int(plain.bytes), "-"});
+    table.row({fmt_int(channels), "batched 5 ms", fmt_int(batched.packets),
+               fmt_int(batched.bytes),
+               fmt((1.0 - static_cast<double>(batched.packets) /
+                              static_cast<double>(plain.packets)) *
+                       100,
+                   0) +
+                   "%"});
+    if (plain.residual_state != 0 || batched.residual_state != 0) {
+      note("WARNING: residual state after teardown!");
+    }
+  }
+  table.print();
+  note("coalescing preserves the protocol outcome (full teardown both");
+  note("ways) while collapsing per-message IP/packet overhead — the");
+  note("TCP-stream behaviour behind the paper's 92-per-segment figure.");
+  return 0;
+}

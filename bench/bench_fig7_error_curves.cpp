@@ -1,0 +1,38 @@
+// F7 (Fig. 7): error tolerance curves used in the proactive-counting
+// simulations: e(dt) = clamp(e_max * (-ln(dt/tau))/alpha, 0, e_max),
+// tau = 120, e_max = 0.3, alpha in {4, 2.5}.
+#include "common.hpp"
+#include "counting/error_curve.hpp"
+
+int main() {
+  using namespace express;
+  using namespace express::bench;
+
+  banner("F7 / Fig. 7", "error tolerance curves (tau=120, e_max=0.3)");
+  counting::ErrorCurve tight(counting::CurveParams{0.3, 120, 4.0});
+  counting::ErrorCurve loose(counting::CurveParams{0.3, 120, 2.5});
+
+  Table table({"dt (s)", "tolerance alpha=4", "tolerance alpha=2.5"});
+  for (int dt = 0; dt <= 70; dt += 5) {
+    table.row({fmt_int(static_cast<std::uint64_t>(dt)),
+               fmt(tight.tolerance(dt), 4), fmt(loose.tolerance(dt), 4)});
+  }
+  table.row({"120 (= tau)", fmt(tight.tolerance(120), 4),
+             fmt(loose.tolerance(120), 4)});
+  table.print();
+
+  note("");
+  note("inverse reading — how long a router sits on a given drift before");
+  note("pushing a Count upstream:");
+  Table inverse({"relative error", "send after (s), alpha=4",
+                 "send after (s), alpha=2.5"});
+  for (double err : {0.01, 0.05, 0.10, 0.20, 0.30}) {
+    inverse.row({fmt(err, 2), fmt(tight.time_until_send(err), 1),
+                 fmt(loose.time_until_send(err), 1)});
+  }
+  inverse.print();
+  note("alpha=4 tolerates less error at every dt (tighter tracking, more");
+  note("messages); both curves share e_max and the tau-second deadline by");
+  note("which any change, however small, is reported.");
+  return 0;
+}

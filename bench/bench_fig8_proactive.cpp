@@ -1,0 +1,137 @@
+// F8 (Fig. 8): error convergence and bandwidth of proactive counting.
+//
+// The paper's scenario: ~250 subscribers over 400 s — a burst at t=0,
+// a trickle until t=200, a second burst at t=200, quiet until t=300,
+// then a fast mass unsubscribe. Upper curve: actual vs estimated group
+// size at the tree root, for alpha = 4 and alpha = 2.5 (tau = 120).
+// Lower curve: cumulative Count messages delivered to the source side.
+#include <algorithm>
+#include <map>
+
+#include "common.hpp"
+#include "express/testbed.hpp"
+#include "workload/churn.hpp"
+
+namespace {
+
+using namespace express;
+
+struct Series {
+  std::map<int, std::int64_t> estimate;  // sampled every 5 s
+  std::map<int, std::uint64_t> messages;
+  std::uint64_t total_messages = 0;
+  std::uint64_t network_counts = 0;      // Count messages on all links
+  std::uint64_t proactive_updates = 0;   // curve-triggered sends only
+};
+
+Series run(double alpha, const std::vector<workload::ChurnEvent>& schedule) {
+  RouterConfig config;
+  config.proactive = counting::CurveParams{0.3, 120.0, alpha};
+  // Binary tree with 8 hosts per leaf router: per-router counts are
+  // large enough that the error curve (not the immediate-send path for
+  // 0 <-> non-zero transitions) governs most updates, as in the paper's
+  // large-group setting.
+  Testbed bed(workload::make_kary_tree(2, 5, {}, 8), config);  // 256 hosts
+  const ip::ChannelId ch = bed.source().allocate_channel();
+
+  for (const auto& event : schedule) {
+    bed.net().scheduler().schedule_at(event.at, [&bed, &ch, event]() {
+      if (event.join) {
+        bed.receiver(event.host_index).new_subscription(ch);
+      } else {
+        bed.receiver(event.host_index).delete_subscription(ch);
+      }
+    });
+  }
+
+  Series series;
+  ExpressRouter& root = bed.source_router();
+  const std::uint64_t base_counts = root.stats().counts_received;
+  for (int t = 0; t <= 400; t += 5) {
+    bed.net().scheduler().schedule_at(sim::seconds(t), [&, t]() {
+      series.estimate[t] = root.subtree_count(ch);
+      series.messages[t] = root.stats().counts_received - base_counts;
+    });
+  }
+  bed.run_for(sim::seconds(401));
+  series.total_messages = root.stats().counts_received - base_counts;
+  for (std::size_t i = 0; i < bed.router_count(); ++i) {
+    series.network_counts += bed.router(i).stats().counts_sent;
+    series.proactive_updates += bed.router(i).stats().proactive_updates_sent;
+  }
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  using namespace express::bench;
+
+  banner("F8 / Fig. 8", "proactive counting: convergence and bandwidth");
+  sim::Rng rng(2026);
+  workload::Fig8Params params;  // 250 subscribers, paper's schedule
+  const auto schedule = workload::fig8_schedule(params, rng);
+
+  // True membership over time, from the schedule itself.
+  std::map<int, std::int64_t> actual;
+  {
+    std::int64_t current = 0;
+    std::size_t next = 0;
+    for (int t = 0; t <= 400; t += 5) {
+      while (next < schedule.size() && schedule[next].at <= sim::seconds(t)) {
+        current += schedule[next].join ? 1 : -1;
+        ++next;
+      }
+      actual[t] = current;
+    }
+  }
+
+  const Series tight = run(4.0, schedule);
+  const Series loose = run(2.5, schedule);
+
+  Table table({"time (s)", "actual size", "est. a=4", "est. a=2.5",
+               "msgs a=4", "msgs a=2.5"});
+  for (int t = 0; t <= 400; t += 20) {
+    table.row({fmt_int(static_cast<std::uint64_t>(t)),
+               fmt_int(static_cast<std::uint64_t>(actual.at(t))),
+               fmt_int(static_cast<std::uint64_t>(tight.estimate.at(t))),
+               fmt_int(static_cast<std::uint64_t>(loose.estimate.at(t))),
+               fmt_int(tight.messages.at(t)), fmt_int(loose.messages.at(t))});
+  }
+  table.print();
+
+  note("");
+  note("Count messages delivered to the source side (root): alpha=4 -> " +
+       fmt_int(tight.total_messages) + ", alpha=2.5 -> " +
+       fmt_int(loose.total_messages));
+  note("network-wide router Counts: alpha=4 -> " +
+       fmt_int(tight.network_counts) + " (" + fmt_int(tight.proactive_updates) +
+       " curve-triggered), alpha=2.5 -> " + fmt_int(loose.network_counts) +
+       " (" + fmt_int(loose.proactive_updates) + ")");
+  note("bandwidth ratio alpha=2.5 / alpha=4: root " +
+       fmt(static_cast<double>(loose.total_messages) /
+               static_cast<double>(tight.total_messages),
+           2) +
+       ", curve-triggered " +
+       fmt(static_cast<double>(loose.proactive_updates) /
+               static_cast<double>(std::max<std::uint64_t>(
+                   tight.proactive_updates, 1)),
+           2) +
+       "  (paper: ~2/3 overall)");
+
+  // Tracking error over the run (sampled): alpha=4 should be tighter.
+  auto mean_abs_error = [&](const Series& s) {
+    double total = 0;
+    int samples = 0;
+    for (const auto& [t, est] : s.estimate) {
+      total += std::abs(static_cast<double>(est - actual.at(t)));
+      ++samples;
+    }
+    return total / samples;
+  };
+  note("mean |estimate - actual|: alpha=4 -> " + fmt(mean_abs_error(tight), 1) +
+       ", alpha=2.5 -> " + fmt(mean_abs_error(loose), 1));
+  note("paper: alpha=4 tracks closely; alpha=2.5 lags after the burst but");
+  note("uses ~2/3 of the bandwidth.");
+  return 0;
+}

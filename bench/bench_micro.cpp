@@ -1,0 +1,154 @@
+// Google-benchmark microbenchmarks for the hot paths the §5.3 analysis
+// cares about: FIB lookup, ECMP codec, subscription-event processing,
+// routing recomputation, and the error-curve evaluation.
+#include <benchmark/benchmark.h>
+
+#include "counting/error_curve.hpp"
+#include "ecmp/codec.hpp"
+#include "express/fib.hpp"
+#include "express/router.hpp"
+#include "net/network.hpp"
+#include "net/routing.hpp"
+#include "sim/random.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace {
+
+using namespace express;
+
+ip::ChannelId channel_n(std::uint32_t n) {
+  return ip::ChannelId{ip::Address(10, 0, 0, 1), ip::Address::single_source(n)};
+}
+
+void BM_FibLookupHit(benchmark::State& state) {
+  Fib fib;
+  const auto entries = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    FibEntry& e = fib.upsert(channel_n(i));
+    e.iif = 0;
+    e.oifs.set(3);
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fib.lookup(channel_n(i), 0));
+    i = (i + 2654435761u) % entries;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FibLookupHit)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_FibLookupMiss(benchmark::State& state) {
+  Fib fib;
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    fib.upsert(channel_n(i)).iif = 0;
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fib.lookup(channel_n(200000 + i), 0));
+    i = (i + 1) % 1000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FibLookupMiss);
+
+void BM_EcmpEncodeCount(benchmark::State& state) {
+  ecmp::Count msg;
+  msg.channel = channel_n(7);
+  msg.count = 12345;
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    ecmp::encode(ecmp::Message{msg}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcmpEncodeCount);
+
+void BM_EcmpDecodeSegment(benchmark::State& state) {
+  // A full 1480-byte segment of 92 Counts, the §5.3 batching unit.
+  std::vector<std::uint8_t> segment;
+  ecmp::Count msg;
+  msg.channel = channel_n(7);
+  msg.count = 1;
+  for (int i = 0; i < 92; ++i) ecmp::encode(ecmp::Message{msg}, segment);
+  for (auto _ : state) {
+    auto messages = ecmp::decode_all(segment);
+    benchmark::DoNotOptimize(messages.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 92);
+}
+BENCHMARK(BM_EcmpDecodeSegment);
+
+void BM_SubscribeEvent(benchmark::State& state) {
+  // Full router event: decode + hashed lookup + state + FIB + upstream
+  // send — the §5.3 per-event cost.
+  net::Topology topo;
+  const net::NodeId core = topo.add_router();
+  const net::NodeId child = topo.add_router();
+  const net::NodeId up = topo.add_router();
+  const net::NodeId src = topo.add_host();
+  topo.add_link(core, child);
+  topo.add_link(core, up);
+  topo.add_link(up, src);
+  net::Network network(std::move(topo));
+  auto& router = network.attach<ExpressRouter>(core);
+  struct Sink : net::Node {
+    Sink(net::Network& n, net::NodeId i) : net::Node(n, i) {}
+    void handle_packet(const net::Packet&, std::uint32_t) override {}
+  };
+  network.attach<Sink>(child);
+  network.attach<Sink>(up);
+  network.attach<Sink>(src);
+  const ip::Address src_addr = network.topology().node(src).address;
+
+  std::uint32_t i = 0;
+  std::int64_t toggle = 1;
+  for (auto _ : state) {
+    ecmp::Count msg;
+    msg.channel =
+        ip::ChannelId{src_addr, ip::Address::single_source(i % 4096)};
+    msg.count = toggle;
+    net::Packet packet;
+    packet.src = network.topology().node(child).address;
+    packet.dst = network.topology().node(core).address;
+    packet.protocol = ip::Protocol::kEcmp;
+    packet.payload = ecmp::encode(ecmp::Message{msg});
+    router.handle_packet(packet, 0);
+    if (++i % 4096 == 0) {
+      toggle = 1 - toggle;  // alternate subscribe/unsubscribe sweeps
+      state.PauseTiming();
+      network.run();  // drain queued upstream messages
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubscribeEvent);
+
+void BM_DijkstraRecompute(benchmark::State& state) {
+  sim::Rng rng(3);
+  auto g = workload::make_transit_stub(
+      static_cast<std::uint32_t>(state.range(0)), 3, 2, rng);
+  net::UnicastRouting routing(g.topology);
+  for (auto _ : state) {
+    routing.recompute();
+    benchmark::DoNotOptimize(routing.version());
+  }
+}
+BENCHMARK(BM_DijkstraRecompute)->Arg(4)->Arg(16);
+
+void BM_ErrorCurveEvaluate(benchmark::State& state) {
+  counting::ErrorCurve curve(counting::CurveParams{0.3, 120, 4});
+  double dt = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.tolerance(dt));
+    dt += 0.1;
+    if (dt > 119) dt = 0.1;
+  }
+}
+BENCHMARK(BM_ErrorCurveEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

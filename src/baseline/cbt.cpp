@@ -1,0 +1,158 @@
+#include "baseline/cbt.hpp"
+
+#include <limits>
+#include <memory>
+
+namespace express::baseline {
+
+CbtRouter::CbtRouter(net::Network& network, net::NodeId id, CbtConfig config)
+    : net::Node(network, id), config_(config) {}
+
+void CbtRouter::handle_packet(const net::Packet& packet,
+                              std::uint32_t in_iface) {
+  if (packet.protocol == ip::Protocol::kCbt ||
+      packet.protocol == ip::Protocol::kIgmp) {
+    for (const Msg& msg : decode_all(packet.payload)) {
+      on_control(msg, in_iface);
+    }
+    return;
+  }
+  if (packet.protocol == ip::Protocol::kIpInIp && packet.dst == address()) {
+    // Off-tree sender's encapsulated packet reaching the core.
+    if (!is_core() || !packet.inner) return;
+    ++stats_.decapsulated_at_core;
+    inject(*packet.inner, std::numeric_limits<std::uint32_t>::max());
+    return;
+  }
+  if (packet.protocol == ip::Protocol::kUdp && packet.dst.is_multicast()) {
+    on_data(packet, in_iface);
+  }
+}
+
+void CbtRouter::join_toward_core(ip::Address group) {
+  Tree& tree = trees_[group];
+  if (tree.has_upstream || is_core()) return;
+  auto core_node = network().node_of(config_.core);
+  if (!core_node) return;
+  auto up = network().routing().rpf_neighbor(id(), *core_node);
+  if (!up || network().topology().node(*up).kind != net::NodeKind::kRouter) {
+    return;
+  }
+  auto iface = network().topology().interface_to(id(), *up);
+  if (!iface) return;
+  tree.upstream_iface = *iface;
+  tree.has_upstream = true;
+  tree.ifaces.insert(*iface);  // bidirectional: the upstream is a tree link
+  Msg join;
+  join.type = MsgType::kJoinStarG;
+  join.group = group;
+  send_control(*up, join);
+  ++stats_.joins_sent;
+}
+
+void CbtRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
+  switch (msg.type) {
+    case MsgType::kMembershipReport:
+      members_[msg.group].insert(in_iface);
+      trees_[msg.group].ifaces.insert(in_iface);
+      join_toward_core(msg.group);
+      return;
+    case MsgType::kJoinStarG:
+      trees_[msg.group].ifaces.insert(in_iface);
+      join_toward_core(msg.group);
+      return;
+    case MsgType::kLeaveGroup: {
+      auto member = members_.find(msg.group);
+      if (member != members_.end()) {
+        member->second.erase(in_iface);
+        if (member->second.empty()) members_.erase(member);
+      }
+      [[fallthrough]];
+    }
+    case MsgType::kPruneStarG: {
+      auto it = trees_.find(msg.group);
+      if (it == trees_.end()) return;
+      Tree& tree = it->second;
+      tree.ifaces.erase(in_iface);
+      // If only the upstream link remains, the branch is dead: prune up.
+      const bool only_upstream =
+          tree.has_upstream && tree.ifaces.size() == 1 &&
+          tree.ifaces.contains(tree.upstream_iface);
+      if (tree.ifaces.empty() || only_upstream) {
+        if (tree.has_upstream) {
+          const net::NodeId up =
+              network().topology().neighbor_via(id(), tree.upstream_iface);
+          Msg prune;
+          prune.type = MsgType::kPruneStarG;
+          prune.group = msg.group;
+          send_control(up, prune);
+          ++stats_.prunes_sent;
+        }
+        trees_.erase(it);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void CbtRouter::inject(const net::Packet& packet, std::uint32_t except_iface) {
+  auto it = trees_.find(packet.dst);
+  if (it == trees_.end()) {
+    ++stats_.drops;
+    return;
+  }
+  for (std::uint32_t iface : it->second.ifaces) {
+    if (iface == except_iface) continue;
+    const net::LinkId link = network().topology().node(id()).interfaces[iface];
+    if (!network().topology().link(link).up) continue;
+    net::Packet copy = packet;
+    if (copy.ttl == 0) continue;
+    --copy.ttl;
+    network().send_on_interface(id(), iface, std::move(copy));
+    ++stats_.data_copies_sent;
+  }
+}
+
+void CbtRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {
+  auto it = trees_.find(packet.dst);
+  const bool arrival_on_tree =
+      it != trees_.end() && it->second.ifaces.contains(in_iface);
+  if (arrival_on_tree) {
+    // Bidirectional forwarding: everywhere except where it came from.
+    inject(packet, in_iface);
+    return;
+  }
+  // Off-tree or non-member sender: the first-hop router tunnels the
+  // packet to the core, which injects it into the tree.
+  const net::NodeId peer = network().topology().neighbor_via(id(), in_iface);
+  const bool from_attached_host =
+      network().topology().node(peer).kind == net::NodeKind::kHost;
+  if (!from_attached_host) {
+    ++stats_.drops;
+    return;
+  }
+  if (is_core()) {
+    inject(packet, in_iface);
+    return;
+  }
+  net::Packet outer;
+  outer.src = address();
+  outer.dst = config_.core;
+  outer.protocol = ip::Protocol::kIpInIp;
+  outer.inner = std::make_shared<net::Packet>(packet);
+  ++stats_.encapsulated_to_core;
+  network().send_unicast(id(), std::move(outer));
+}
+
+void CbtRouter::send_control(net::NodeId neighbor, const Msg& msg) {
+  net::Packet packet;
+  packet.src = address();
+  packet.dst = network().topology().node(neighbor).address;
+  packet.protocol = ip::Protocol::kCbt;
+  packet.payload = encode(msg);
+  network().send_to_neighbor(id(), neighbor, std::move(packet));
+}
+
+}  // namespace express::baseline

@@ -1,0 +1,163 @@
+#include "baseline/dvmrp.hpp"
+
+namespace express::baseline {
+
+DvmrpRouter::DvmrpRouter(net::Network& network, net::NodeId id,
+                         DvmrpConfig config)
+    : net::Node(network, id), config_(config) {}
+
+bool DvmrpRouter::iface_is_host(std::uint32_t iface) const {
+  const net::NodeId peer = network().topology().neighbor_via(id(), iface);
+  return network().topology().node(peer).kind == net::NodeKind::kHost;
+}
+
+void DvmrpRouter::handle_packet(const net::Packet& packet,
+                                std::uint32_t in_iface) {
+  if (packet.protocol == ip::Protocol::kIgmp) {
+    for (const Msg& msg : decode_all(packet.payload)) {
+      on_control(msg, in_iface);
+    }
+    return;
+  }
+  if (packet.protocol == ip::Protocol::kUdp && packet.dst.is_multicast()) {
+    forward_data(packet, in_iface);
+  }
+}
+
+void DvmrpRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
+  switch (msg.type) {
+    case MsgType::kMembershipReport: {
+      members_[msg.group].insert(in_iface);
+      // Graft back any branches we pruned for this group (§ DVMRP).
+      for (auto& [channel, state] : sg_) {
+        if (channel.dest != msg.group || !state.prune_sent_upstream) continue;
+        state.prune_sent_upstream = false;
+        if (auto src = network().node_of(channel.source)) {
+          if (auto up = network().routing().rpf_neighbor(id(), *src)) {
+            Msg graft;
+            graft.type = MsgType::kGraft;
+            graft.group = msg.group;
+            graft.source = channel.source;
+            send_control(*up, graft);
+            ++stats_.grafts_sent;
+          }
+        }
+      }
+      return;
+    }
+    case MsgType::kLeaveGroup: {
+      auto it = members_.find(msg.group);
+      if (it != members_.end()) {
+        it->second.erase(in_iface);
+        if (it->second.empty()) members_.erase(it);
+      }
+      return;
+    }
+    case MsgType::kPruneSG: {
+      ++stats_.prunes_received;
+      const ip::ChannelId key{msg.source, msg.group};
+      sg_[key].pruned_until[in_iface] =
+          network().now() + sim::milliseconds(msg.holdtime_ms);
+      return;
+    }
+    case MsgType::kGraft: {
+      ++stats_.grafts_received;
+      const ip::ChannelId key{msg.source, msg.group};
+      auto it = sg_.find(key);
+      if (it == sg_.end()) return;
+      it->second.pruned_until.erase(in_iface);
+      if (it->second.prune_sent_upstream) {
+        it->second.prune_sent_upstream = false;
+        if (auto src = network().node_of(msg.source)) {
+          if (auto up = network().routing().rpf_neighbor(id(), *src)) {
+            Msg graft = msg;
+            send_control(*up, graft);
+            ++stats_.grafts_sent;
+          }
+        }
+      }
+      return;
+    }
+    default:
+      return;  // not a DVMRP message
+  }
+}
+
+void DvmrpRouter::forward_data(const net::Packet& packet,
+                               std::uint32_t in_iface) {
+  auto src_node = network().node_of(packet.src);
+  if (!src_node) return;
+  auto rpf = network().routing().rpf_interface(id(), *src_node);
+  if (!rpf || *rpf != in_iface) {
+    ++stats_.rpf_drops;
+    return;
+  }
+
+  const ip::ChannelId key{packet.src, packet.dst};
+  SgState& state = sg_[key];  // broadcast-and-prune state at *every* router
+  const sim::Time now = network().now();
+
+  // Expire stale prunes lazily: flooding resumes after prune_lifetime.
+  std::erase_if(state.pruned_until,
+                [&](const auto& kv) { return kv.second <= now; });
+
+  std::vector<std::uint32_t> oifs;
+  const auto iface_count = network().topology().interface_count(id());
+  for (std::uint32_t iface = 0; iface < iface_count; ++iface) {
+    if (iface == in_iface) continue;
+    const net::LinkId link = network().topology().node(id()).interfaces[iface];
+    if (!network().topology().link(link).up) continue;
+    if (iface_is_host(iface)) {
+      auto member = members_.find(packet.dst);
+      if (member != members_.end() && member->second.contains(iface)) {
+        oifs.push_back(iface);
+      }
+      continue;
+    }
+    if (state.pruned_until.contains(iface)) continue;
+    oifs.push_back(iface);
+    ++stats_.flood_copies;
+  }
+
+  if (oifs.empty()) {
+    // Leaf with no interest: prune toward the source (once per lifetime).
+    if (!state.prune_sent_upstream || state.prune_expiry <= now) {
+      auto up = network().routing().rpf_neighbor(id(), *src_node);
+      if (up && network().topology().node(*up).kind == net::NodeKind::kRouter) {
+        Msg prune;
+        prune.type = MsgType::kPruneSG;
+        prune.group = packet.dst;
+        prune.source = packet.src;
+        prune.holdtime_ms = static_cast<std::uint32_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                config_.prune_lifetime)
+                .count());
+        send_control(*up, prune);
+        ++stats_.prunes_sent;
+        state.prune_sent_upstream = true;
+        state.prune_expiry = now + config_.prune_lifetime;
+      }
+    }
+    return;
+  }
+
+  ++stats_.data_packets_forwarded;
+  for (std::uint32_t iface : oifs) {
+    net::Packet copy = packet;
+    if (copy.ttl == 0) continue;
+    --copy.ttl;
+    network().send_on_interface(id(), iface, std::move(copy));
+    ++stats_.data_copies_sent;
+  }
+}
+
+void DvmrpRouter::send_control(net::NodeId neighbor, const Msg& msg) {
+  net::Packet packet;
+  packet.src = address();
+  packet.dst = network().topology().node(neighbor).address;
+  packet.protocol = ip::Protocol::kIgmp;
+  packet.payload = encode(msg);
+  network().send_to_neighbor(id(), neighbor, std::move(packet));
+}
+
+}  // namespace express::baseline

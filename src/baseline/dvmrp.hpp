@@ -1,0 +1,74 @@
+// DVMRP / PIM-DM-style broadcast-and-prune baseline.
+//
+// The paper dismisses this family for wide-area use: data for (S, G) is
+// *flooded* along the RPF tree to every router in the domain, and
+// routers with no downstream interest prune — so every router that the
+// flood reaches holds (S, G) state whether or not it has subscribers,
+// and silence costs bandwidth everywhere. This implementation exists so
+// the benches can measure exactly that off-tree traffic and state
+// against EXPRESS's subscription-only trees.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "baseline/wire.hpp"
+#include "ip/channel.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace express::baseline {
+
+struct DvmrpConfig {
+  /// How long a received prune suppresses flooding on an interface
+  /// before the flood (and re-pruning) resumes.
+  sim::Duration prune_lifetime = sim::seconds(120);
+};
+
+struct DvmrpStats {
+  std::uint64_t data_packets_forwarded = 0;
+  std::uint64_t data_copies_sent = 0;
+  std::uint64_t flood_copies = 0;   ///< copies sent to router links (speculative)
+  std::uint64_t rpf_drops = 0;
+  std::uint64_t prunes_sent = 0;
+  std::uint64_t prunes_received = 0;
+  std::uint64_t grafts_sent = 0;
+  std::uint64_t grafts_received = 0;
+};
+
+class DvmrpRouter : public net::Node {
+ public:
+  DvmrpRouter(net::Network& network, net::NodeId id, DvmrpConfig config = {});
+
+  void handle_packet(const net::Packet& packet, std::uint32_t in_iface) override;
+
+  [[nodiscard]] const DvmrpStats& stats() const { return stats_; }
+  /// (S,G) forwarding-cache entries — present at every router the flood
+  /// reached, the group model's state-scaling problem.
+  [[nodiscard]] std::size_t state_entries() const { return sg_.size(); }
+  [[nodiscard]] bool has_members(ip::Address group) const {
+    auto it = members_.find(group);
+    return it != members_.end() && !it->second.empty();
+  }
+
+ private:
+  struct SgState {
+    std::unordered_map<std::uint32_t, sim::Time> pruned_until;  ///< per iface
+    bool prune_sent_upstream = false;
+    sim::Time prune_expiry{};
+  };
+
+  void on_control(const Msg& msg, std::uint32_t in_iface);
+  void forward_data(const net::Packet& packet, std::uint32_t in_iface);
+  void send_control(net::NodeId neighbor, const Msg& msg);
+  [[nodiscard]] bool iface_is_host(std::uint32_t iface) const;
+
+  DvmrpConfig config_;
+  DvmrpStats stats_;
+  std::unordered_map<ip::Address, std::unordered_set<std::uint32_t>> members_;
+  std::unordered_map<ip::ChannelId, SgState> sg_;  ///< keyed (S, G)
+};
+
+}  // namespace express::baseline

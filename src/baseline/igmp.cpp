@@ -1,0 +1,80 @@
+#include "baseline/igmp.hpp"
+
+#include <algorithm>
+
+namespace express::baseline {
+
+IgmpRoundResult igmp_query_round(std::uint32_t members, bool suppression,
+                                 sim::Rng& rng) {
+  IgmpRoundResult result;
+  if (members == 0) {
+    result.count_is_exact = true;
+    return result;
+  }
+  if (!suppression) {
+    result.reports_sent = members;
+    result.observed_count = members;
+    result.count_is_exact = true;
+    return result;
+  }
+  // v2: every member draws a delay; the earliest wins, the rest hear it
+  // and suppress. (On a real LAN a few extra reports race through; the
+  // single-winner model is the intended steady state.)
+  double best = 2.0;
+  for (std::uint32_t m = 0; m < members; ++m) {
+    best = std::min(best, rng.uniform());
+  }
+  (void)best;
+  result.reports_sent = 1;
+  result.reports_suppressed = members - 1;
+  result.observed_count = 1;  // querier learns only "at least one"
+  result.count_is_exact = (members == 1);
+  return result;
+}
+
+SourceFilter SourceFilter::include(std::vector<ip::Address> sources) {
+  SourceFilter f;
+  f.mode_ = Mode::kInclude;
+  for (ip::Address s : sources) f.sources_.insert(s);
+  return f;
+}
+
+SourceFilter SourceFilter::exclude(std::vector<ip::Address> sources) {
+  SourceFilter f;
+  f.mode_ = Mode::kExclude;
+  for (ip::Address s : sources) f.sources_.insert(s);
+  return f;
+}
+
+bool SourceFilter::accepts(ip::Address source) const {
+  const bool listed = sources_.contains(source);
+  return mode_ == Mode::kInclude ? listed : !listed;
+}
+
+void SourceFilter::merge(const SourceFilter& other) {
+  // RFC 3376: the interface must accept anything either record accepts.
+  if (mode_ == Mode::kInclude && other.mode_ == Mode::kInclude) {
+    for (ip::Address s : other.sources_) sources_.insert(s);
+    return;
+  }
+  if (mode_ == Mode::kExclude && other.mode_ == Mode::kExclude) {
+    // EXCLUDE(A) union EXCLUDE(B) accepts ~A or ~B = ~(A intersect B).
+    std::unordered_set<ip::Address> intersection;
+    for (ip::Address s : sources_) {
+      if (other.sources_.contains(s)) intersection.insert(s);
+    }
+    sources_ = std::move(intersection);
+    return;
+  }
+  // Mixed: EXCLUDE(X) union INCLUDE(Y) = EXCLUDE(X - Y).
+  const SourceFilter& excl = (mode_ == Mode::kExclude) ? *this : other;
+  const SourceFilter& incl = (mode_ == Mode::kExclude) ? other : *this;
+  std::unordered_set<ip::Address> remaining;
+  for (ip::Address s : excl.sources_) {
+    if (!incl.sources_.contains(s)) remaining.insert(s);
+  }
+  mode_ = Mode::kExclude;
+  sources_ = std::move(remaining);
+}
+
+}  // namespace express::baseline

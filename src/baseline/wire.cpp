@@ -1,0 +1,62 @@
+#include "baseline/wire.hpp"
+
+namespace express::baseline {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
+  return (std::uint32_t{b[at]} << 24) | (std::uint32_t{b[at + 1]} << 16) |
+         (std::uint32_t{b[at + 2]} << 8) | std::uint32_t{b[at + 3]};
+}
+
+}  // namespace
+
+void encode_to(const Msg& msg, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(msg.type));
+  out.push_back(0);  // reserved
+  put_u32(out, msg.group.value());
+  put_u32(out, msg.source.value());
+  put_u32(out, msg.holdtime_ms);
+}
+
+std::vector<std::uint8_t> encode(const Msg& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(Msg::kSize);
+  encode_to(msg, out);
+  return out;
+}
+
+std::optional<Msg> decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < Msg::kSize) return std::nullopt;
+  const std::uint8_t type = bytes[0];
+  if (type < 1 || type > static_cast<std::uint8_t>(MsgType::kRegisterStop)) {
+    return std::nullopt;
+  }
+  Msg msg;
+  msg.type = static_cast<MsgType>(type);
+  msg.group = ip::Address{get_u32(bytes, 2)};
+  msg.source = ip::Address{get_u32(bytes, 6)};
+  msg.holdtime_ms = get_u32(bytes, 10);
+  return msg;
+}
+
+std::vector<Msg> decode_all(std::span<const std::uint8_t> bytes) {
+  std::vector<Msg> out;
+  std::size_t at = 0;
+  while (at + Msg::kSize <= bytes.size()) {
+    auto msg = decode(bytes.subspan(at));
+    if (!msg) break;
+    out.push_back(*msg);
+    at += Msg::kSize;
+  }
+  return out;
+}
+
+}  // namespace express::baseline

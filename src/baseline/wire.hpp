@@ -1,0 +1,44 @@
+// Wire format shared by the baseline group-model protocols.
+//
+// The baselines (DVMRP-style broadcast-and-prune, PIM-SM, CBT, IGMP
+// membership) exist so the benches can reproduce the paper's
+// comparisons: state cost, path stretch through RPs/cores, off-tree
+// traffic, and join latency. One compact TLV-free record covers all of
+// their control messages; each protocol uses its own IP protocol number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ip/address.hpp"
+
+namespace express::baseline {
+
+enum class MsgType : std::uint8_t {
+  kMembershipReport = 1,  ///< IGMP-style host join, group-scoped
+  kLeaveGroup = 2,        ///< IGMP-style host leave
+  kJoinStarG = 3,         ///< PIM (*,G) join toward the RP / CBT join toward core
+  kPruneStarG = 4,        ///< leave the shared tree
+  kJoinSG = 5,            ///< PIM (S,G) join toward the source (SPT)
+  kPruneSG = 6,           ///< DVMRP prune / PIM (S,G) RPT-prune
+  kGraft = 7,             ///< DVMRP graft (undo a prune)
+  kRegisterStop = 8,      ///< PIM RP -> first-hop: native path established
+};
+
+struct Msg {
+  MsgType type = MsgType::kMembershipReport;
+  ip::Address group;
+  ip::Address source;          ///< zero for (*,G) messages
+  std::uint32_t holdtime_ms = 0;
+
+  static constexpr std::size_t kSize = 14;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const Msg& msg);
+void encode_to(const Msg& msg, std::vector<std::uint8_t>& out);
+[[nodiscard]] std::optional<Msg> decode(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::vector<Msg> decode_all(std::span<const std::uint8_t> bytes);
+
+}  // namespace express::baseline

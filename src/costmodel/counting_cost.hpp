@@ -1,0 +1,44 @@
+// §6: counting overhead — polled vs proactive.
+//
+// Polling a mostly-quiescent channel touches every router and subscriber
+// each round: one CountQuery down and one Count up per tree edge. The
+// proactive scheme instead sends a Count only when drift exceeds the
+// error-tolerance curve, so its cost tracks membership *change* rather
+// than membership *size*. These helpers quantify both so the Fig. 8 /
+// §6 bench can print the comparison the paper argues qualitatively.
+#pragma once
+
+namespace express::costmodel {
+
+struct PollingParams {
+  double tree_edges = 0;        ///< router-router + router-host tree links
+  double poll_period_seconds = 300;  ///< e.g. sample every 5 minutes (§6)
+  double query_bytes = 20;
+  double count_bytes = 20;  ///< query replies carry a 4-byte sequence
+};
+
+struct PollingLoad {
+  double messages_per_round = 0;
+  double messages_per_second = 0;
+  double bytes_per_second = 0;
+};
+
+[[nodiscard]] constexpr PollingLoad polling_load(const PollingParams& p) {
+  PollingLoad out;
+  // One query down and one aggregated count up per tree edge per round.
+  out.messages_per_round = 2 * p.tree_edges;
+  out.messages_per_second = out.messages_per_round / p.poll_period_seconds;
+  out.bytes_per_second =
+      p.tree_edges * (p.query_bytes + p.count_bytes) / p.poll_period_seconds;
+  return out;
+}
+
+/// A 90-minute movie sampled every `period` seconds (the paper's
+/// charging example): total polling messages over the showing.
+[[nodiscard]] constexpr double movie_poll_messages(double tree_edges,
+                                                   double period_seconds = 300,
+                                                   double movie_seconds = 5400) {
+  return 2 * tree_edges * (movie_seconds / period_seconds);
+}
+
+}  // namespace express::costmodel

@@ -1,0 +1,78 @@
+// Fig. 6: the FIB memory cost model, plus the §5.1 worked examples.
+//
+//   p_sr = m * e * t_s / (t_r * u)
+//
+// m = FIB memory purchase cost per byte, e = bytes per entry, t_s =
+// session duration, t_r = router lifetime, u = FIB utilization. The 1/u
+// term charges each active session a share of the headroom the FIB must
+// keep for peak demand. A session spanning k channels with n receivers
+// each h hops from the source occupies at most k*n*h entries network-wide
+// (the star-topology worst case; sharing in the tree only lowers it).
+#pragma once
+
+#include <cstdint>
+
+namespace express::costmodel {
+
+struct FibCostParams {
+  /// $55 per megabyte of 4ns SRAM (the paper's early-1998 quote [17]).
+  double memory_cost_per_byte = 55.0 / (1024.0 * 1024.0);
+  /// Fig. 5 packed entry.
+  double bytes_per_entry = 12.0;
+  /// One-year router lifetime (31,536,000 seconds).
+  double router_lifetime_seconds = 31'536'000.0;
+  /// 1% average FIB utilization (the paper's conservative estimate).
+  double utilization = 0.01;
+};
+
+/// Cost of one FIB entry held for `session_seconds` (the model's p_sr).
+[[nodiscard]] constexpr double entry_cost(const FibCostParams& p,
+                                          double session_seconds) {
+  return p.memory_cost_per_byte * p.bytes_per_entry * session_seconds /
+         (p.router_lifetime_seconds * p.utilization);
+}
+
+/// Upper bound on FIB entries a k-channel, n-receiver, h-hop session
+/// occupies across the network (no-sharing star worst case).
+[[nodiscard]] constexpr double session_entries(double channels, double receivers,
+                                               double hops) {
+  return channels * receivers * hops;
+}
+
+/// Total network-wide FIB cost of a session (the paper's c_s bound).
+[[nodiscard]] constexpr double session_cost(const FibCostParams& p,
+                                            double channels, double receivers,
+                                            double hops,
+                                            double session_seconds) {
+  return session_entries(channels, receivers, hops) *
+         entry_cost(p, session_seconds);
+}
+
+/// §5.1 example 1: fully-meshed 10-way conference, 10 channels, 25-hop
+/// paths, 20 minutes. The paper derives <= $0.075 total.
+[[nodiscard]] constexpr double ten_way_conference_cost(
+    const FibCostParams& p = {}) {
+  return session_cost(p, /*channels=*/10, /*receivers=*/10, /*hops=*/25,
+                      /*session_seconds=*/1200);
+}
+
+/// §5.1 example 2: long-running stock ticker, 100,000 subscribers, ~2
+/// tree links per subscriber (fanout 1-2 at depth 25) -> ~200,000 FIB
+/// entries held for a full year.
+struct StockTickerExample {
+  double entries = 200'000;
+  double yearly_cost = 0;
+  double cost_per_subscriber = 0;
+};
+
+[[nodiscard]] constexpr StockTickerExample stock_ticker_cost(
+    const FibCostParams& p = {}, double subscribers = 100'000,
+    double entries = 200'000) {
+  StockTickerExample out;
+  out.entries = entries;
+  out.yearly_cost = entries * entry_cost(p, p.router_lifetime_seconds);
+  out.cost_per_subscriber = out.yearly_cost / subscribers;
+  return out;
+}
+
+}  // namespace express::costmodel

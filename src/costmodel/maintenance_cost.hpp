@@ -1,0 +1,62 @@
+// §5.3 / §6: the cost of maintaining channel state, analytically.
+//
+// The paper's million-channel scenario: a core router carrying C active
+// channels of lifetime L with average fanout f receives 2f Count events
+// per channel per lifetime (a subscribe and an unsubscribe from each
+// child) and sends 2 (its own join and leave upstream). At C = 1e6,
+// L = 20 min, f = 2 that is 3,333 receives + 1,667 sends ≈ 5,000 events
+// per second, and — at 16 bytes per Count, 92 per 1480-byte segment —
+// about 424 kb/s of inbound control traffic.
+#pragma once
+
+#include <cstddef>
+
+namespace express::costmodel {
+
+struct MaintenanceParams {
+  double active_channels = 1'000'000;
+  double channel_lifetime_seconds = 1200;  ///< 20-minute sessions
+  double average_fanout = 2;
+  double count_message_bytes = 16;  ///< unsolicited Count, no key (codec-checked)
+  double segment_bytes = 1480;      ///< Ethernet MSS
+};
+
+struct MaintenanceLoad {
+  double events_received_per_second = 0;
+  double events_sent_per_second = 0;
+  double total_events_per_second = 0;
+  double segments_received_per_second = 0;
+  double control_bits_received_per_second = 0;
+  double messages_per_segment = 0;
+};
+
+[[nodiscard]] constexpr MaintenanceLoad maintenance_load(
+    const MaintenanceParams& p = {}) {
+  MaintenanceLoad out;
+  // Each channel contributes one subscribe + one unsubscribe per child
+  // per lifetime inbound, and one join + one leave outbound.
+  out.events_received_per_second =
+      p.active_channels * 2 * p.average_fanout / p.channel_lifetime_seconds;
+  out.events_sent_per_second =
+      p.active_channels * 2 / p.channel_lifetime_seconds;
+  out.total_events_per_second =
+      out.events_received_per_second + out.events_sent_per_second;
+  out.messages_per_segment = p.segment_bytes / p.count_message_bytes;
+  out.segments_received_per_second =
+      out.events_received_per_second /
+      static_cast<double>(static_cast<long long>(out.messages_per_segment));
+  out.control_bits_received_per_second =
+      out.segments_received_per_second * p.segment_bytes * 8;
+  return out;
+}
+
+/// CPU utilization implied by an event rate and a measured per-event
+/// cycle cost (the paper's 4,500 ev/s at 3,500 cycles -> 4% of a 400 MHz
+/// Pentium-II; we report the same formula against today's measurement).
+[[nodiscard]] constexpr double cpu_utilization(double events_per_second,
+                                               double cycles_per_event,
+                                               double cpu_hz) {
+  return events_per_second * cycles_per_event / cpu_hz;
+}
+
+}  // namespace express::costmodel

@@ -1,0 +1,34 @@
+// §5.2: management-level (process/DRAM, non-fast-path) state per channel.
+//
+// Each count activity record is [channel, countId, count] ~16 bytes,
+// doubled to 32 to allow for implementation fields. With average fanout
+// 2 there are three records per channel (two children + one upstream),
+// two count activities outstanding, plus 8 bytes for a cached K(S,E):
+// 32 * 3 * 2 + 8 = 200 bytes per channel of cheap DRAM.
+#pragma once
+
+namespace express::costmodel {
+
+struct MgmtCostParams {
+  double record_bytes = 32;      ///< 16B logical record, doubled for impl fields
+  double average_fanout = 2;     ///< records = fanout + 1 (upstream)
+  double outstanding_counts = 2; ///< concurrent count activities per channel
+  double key_bytes = 8;          ///< cached K(S,E)
+  /// $1 per megabyte of DRAM (paper's price point).
+  double memory_cost_per_byte = 1.0 / (1024.0 * 1024.0);
+  double router_lifetime_seconds = 31'536'000.0;
+};
+
+[[nodiscard]] constexpr double bytes_per_channel(const MgmtCostParams& p = {}) {
+  return p.record_bytes * (p.average_fanout + 1) * p.outstanding_counts +
+         p.key_bytes;
+}
+
+/// Dollar cost of one channel's management state for the router's
+/// lifetime (the paper: "less than 1/50th of a cent").
+[[nodiscard]] constexpr double channel_lifetime_cost(
+    const MgmtCostParams& p = {}) {
+  return bytes_per_channel(p) * p.memory_cost_per_byte;
+}
+
+}  // namespace express::costmodel

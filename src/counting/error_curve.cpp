@@ -1,0 +1,50 @@
+#include "counting/error_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace express::counting {
+
+double ErrorCurve::tolerance(double dt_seconds) const {
+  if (dt_seconds <= 0) return std::numeric_limits<double>::infinity();
+  if (dt_seconds >= params_.tau_seconds) return 0.0;
+  return params_.e_max * (-std::log(dt_seconds / params_.tau_seconds)) /
+         params_.alpha;
+}
+
+double ErrorCurve::time_until_send(double error) const {
+  if (error <= 0) return params_.tau_seconds;
+  return params_.tau_seconds * std::exp(-params_.alpha * error / params_.e_max);
+}
+
+double relative_error(std::int64_t advertised, std::int64_t current) {
+  if (advertised == current) return 0.0;
+  const auto lo = std::min(std::llabs(advertised), std::llabs(current));
+  if (lo == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(std::llabs(current - advertised)) /
+         static_cast<double>(lo);
+}
+
+bool ProactiveState::should_send(std::int64_t current, sim::Time now) const {
+  if (!ever_sent_) return current != 0;
+  const double err = relative_error(advertised_, current);
+  if (err == 0.0) return false;
+  const double dt = sim::to_seconds(now - last_sent_);
+  return err > curve_.tolerance(dt);
+}
+
+std::optional<sim::Duration> ProactiveState::next_send_delay(
+    std::int64_t current, sim::Time now) const {
+  if (!ever_sent_) {
+    return current != 0 ? std::optional<sim::Duration>(sim::Duration{0})
+                        : std::nullopt;
+  }
+  const double err = relative_error(advertised_, current);
+  if (err == 0.0) return std::nullopt;
+  const double due = curve_.time_until_send(err);  // <= tau by construction
+  const double remaining = due - sim::to_seconds(now - last_sent_);
+  return sim::seconds_f(std::max(remaining, 0.0));
+}
+
+}  // namespace express::counting

@@ -1,0 +1,91 @@
+// Proactive-counting error-tolerance curves (paper §6, Fig. 7).
+//
+// Instead of the source polling, routers push a Count upstream whenever
+// the drift between the current subtree count and the last advertised
+// value exceeds a tolerance that *decays with time since the last
+// update*:
+//
+//     e(dt) = e_max * (-ln(dt / tau)) / alpha      (0 beyond tau)
+//
+// tau is the x-intercept — the maximum delay until any change is
+// transmitted upstream; alpha controls the decay rate, and e_max scales
+// the curve (the error tolerated one "decay unit" before tau). The
+// curve diverges as dt -> 0: immediately after an update even large
+// drift is briefly tolerated, which is what batches burst arrivals into
+// few messages — the inverse crossing time tau * exp(-alpha*e/e_max)
+// shrinks rapidly with the drift, so large changes still propagate in
+// sub-second time while a slow trickle is batched. This uncapped
+// reading reproduces Fig. 8's ~2/3 bandwidth ratio between alpha = 2.5
+// and alpha = 4; see EXPERIMENTS.md for the interpretation notes.
+#pragma once
+
+#include <optional>
+
+#include "sim/time.hpp"
+
+namespace express::counting {
+
+struct CurveParams {
+  double e_max = 0.3;        ///< error scale of the curve
+  double tau_seconds = 120;  ///< x-intercept: max delay before any change is sent
+  double alpha = 4.0;        ///< decay rate (paper compares 4 vs 2.5)
+};
+
+class ErrorCurve {
+ public:
+  constexpr explicit ErrorCurve(CurveParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const CurveParams& params() const { return params_; }
+
+  /// Tolerated relative error `dt` seconds after the last update.
+  [[nodiscard]] double tolerance(double dt_seconds) const;
+
+  /// Smallest dt at which an error of magnitude `error` is no longer
+  /// tolerated: dt* = tau * exp(-alpha * error / e_max), which decays
+  /// toward 0 for large errors; error <= 0 returns tau.
+  [[nodiscard]] double time_until_send(double error) const;
+
+ private:
+  CurveParams params_;
+};
+
+/// Relative drift between the advertised and current count, computed as
+/// the paper's e_rel = max(|delta|/advertised, |delta|/current), i.e.
+/// |delta| / min(advertised, current). Transitions to or from zero have
+/// unbounded relative error and are reported as +infinity.
+[[nodiscard]] double relative_error(std::int64_t advertised, std::int64_t current);
+
+/// Per-(channel, countId) proactive bookkeeping at one router: when to
+/// push and when to re-check.
+class ProactiveState {
+ public:
+  explicit ProactiveState(CurveParams params) : curve_(params) {}
+
+  /// True if the drift from `current` at time `now` exceeds tolerance.
+  [[nodiscard]] bool should_send(std::int64_t current, sim::Time now) const;
+
+  /// Remaining time until the decaying tolerance crosses the *current*
+  /// drift — when the update is due if nothing else changes. Always
+  /// <= tau from the last send, so any change is flushed within tau.
+  /// alpha batches: a lower alpha keeps tolerance higher for longer, so
+  /// more arrivals accumulate into one update. nullopt when no drift.
+  [[nodiscard]] std::optional<sim::Duration> next_send_delay(
+      std::int64_t current, sim::Time now) const;
+
+  /// Record that `value` was advertised upstream at `now`.
+  void mark_sent(std::int64_t value, sim::Time now) {
+    advertised_ = value;
+    last_sent_ = now;
+    ever_sent_ = true;
+  }
+
+  [[nodiscard]] std::int64_t advertised() const { return advertised_; }
+
+ private:
+  ErrorCurve curve_;
+  std::int64_t advertised_ = 0;
+  sim::Time last_sent_{0};
+  bool ever_sent_ = false;
+};
+
+}  // namespace express::counting

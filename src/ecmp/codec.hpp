@@ -1,0 +1,50 @@
+// ECMP wire codec.
+//
+// Fixed little parser with explicit bounds checks; messages are
+// big-endian. An unsolicited Count without key is exactly 16 bytes,
+// matching the paper's §5.3 arithmetic ("approximately 92 16-byte Count
+// messages fit in a 1480-byte maximum-sized TCP segment"); the optional
+// authenticator adds 8 bytes (§5.2). Batched encoding packs several
+// messages into one segment the way ECMP-over-TCP does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "ecmp/messages.hpp"
+
+namespace express::ecmp {
+
+using Message =
+    std::variant<CountQuery, Count, CountResponse, KeyRegister>;
+
+/// Serialized size of a message in bytes.
+[[nodiscard]] std::size_t encoded_size(const Message& msg);
+
+/// Append the wire form of `msg` to `out`.
+void encode(const Message& msg, std::vector<std::uint8_t>& out);
+
+/// Serialize one message.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Parse one message from the front of `bytes`; on success also returns
+/// the number of bytes consumed. Returns nullopt for truncated input,
+/// unknown types, or malformed flags.
+[[nodiscard]] std::optional<std::pair<Message, std::size_t>> decode(
+    std::span<const std::uint8_t> bytes);
+
+/// Parse a batch (e.g. one TCP segment worth); stops at the first
+/// malformed message. All successfully parsed prefix messages returned.
+[[nodiscard]] std::vector<Message> decode_all(
+    std::span<const std::uint8_t> bytes);
+
+/// Ethernet MSS the paper's segment-packing arithmetic assumes.
+inline constexpr std::size_t kMaxSegmentBytes = 1480;
+
+/// How many copies of `msg` fit in one maximum-sized segment.
+[[nodiscard]] std::size_t messages_per_segment(const Message& msg);
+
+}  // namespace express::ecmp

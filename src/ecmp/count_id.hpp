@@ -1,0 +1,69 @@
+// The ECMP countId space.
+//
+// ECMP generalizes subscribe/unsubscribe into counting: a countId names
+// *what* is being counted. The paper reserves ids for the subscriber
+// count (which doubles as tree maintenance), neighbor discovery, and an
+// all-channels refresh solicitation; it designates ranges for
+// network-layer resources (never forwarded to leaf hosts, §3.1 fn. 3),
+// locally-defined use, and application-defined semantics (§2.2.1).
+#pragma once
+
+#include <cstdint>
+
+namespace express::ecmp {
+
+using CountId = std::uint16_t;
+
+// --- Reserved ids (paper §3.2, §3.3) ---------------------------------
+/// Number of subscribers in a subtree; maintains the distribution tree.
+inline constexpr CountId kSubscriberId = 0;
+/// Neighboring EXPRESS routers (periodic discovery / keepalive).
+inline constexpr CountId kNeighborsId = 1;
+/// Solicits Count retransmissions for all channels (general query).
+inline constexpr CountId kAllChannelsId = 2;
+
+// --- Network-layer resource counts [0x0100, 0x1000) -------------------
+// Answered by routers about the tree itself; not forwarded to hosts.
+inline constexpr CountId kNetworkRangeBegin = 0x0100;
+inline constexpr CountId kNetworkRangeEnd = 0x1000;
+/// Number of distribution-tree links in the subtree (the paper's
+/// transit-domain settlement example).
+inline constexpr CountId kLinkCountId = 0x0100;
+/// Number of on-tree routers in the subtree.
+inline constexpr CountId kRouterCountId = 0x0101;
+/// Cost-weighted tree size (sum of link costs of subtree links).
+inline constexpr CountId kWeightedTreeSizeId = 0x0102;
+
+// --- Locally-defined range [0x1000, 0x4000) ---------------------------
+inline constexpr CountId kLocalRangeBegin = 0x1000;
+inline constexpr CountId kLocalRangeEnd = 0x4000;
+/// Tree links within the initiating router's routing domain — the
+/// paper's transit-settlement example ("the ingress router for transit
+/// domain D might initiate a query to count the number of links used
+/// within D"). The query never crosses a domain boundary.
+inline constexpr CountId kDomainLinkCountId = kLocalRangeBegin;
+
+// --- Application-defined range [0x4000, 0xFFFF] -----------------------
+// Forwarded all the way to subscriber applications (votes, ACK/NACK
+// collection for reliable multicast, ...).
+inline constexpr CountId kAppRangeBegin = 0x4000;
+
+[[nodiscard]] constexpr bool is_network_count(CountId id) {
+  return id >= kNetworkRangeBegin && id < kNetworkRangeEnd;
+}
+
+[[nodiscard]] constexpr bool is_local_count(CountId id) {
+  return id >= kLocalRangeBegin && id < kLocalRangeEnd;
+}
+
+[[nodiscard]] constexpr bool is_app_count(CountId id) {
+  return id >= kAppRangeBegin;
+}
+
+/// Ids forwarded to leaf hosts: the subscriber count and the
+/// application-defined range. Network/local counts stop at routers.
+[[nodiscard]] constexpr bool forwarded_to_hosts(CountId id) {
+  return id == kSubscriberId || is_app_count(id);
+}
+
+}  // namespace express::ecmp

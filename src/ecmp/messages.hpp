@@ -1,0 +1,81 @@
+// ECMP message set (paper §3): CountQuery, Count, CountResponse, plus
+// the KeyRegister control the source uses for channelKey() (§2.1). The
+// structs are the in-memory form; ecmp/codec.* provides the wire form.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ecmp/count_id.hpp"
+#include "ip/channel.hpp"
+#include "sim/time.hpp"
+
+namespace express::ecmp {
+
+enum class MessageType : std::uint8_t {
+  kCountQuery = 1,
+  kCount = 2,
+  kCountResponse = 3,
+  kKeyRegister = 4,
+};
+
+/// CountQuery(channel, countId, timeout) — fans out down the tree. Each
+/// hop decrements the timeout by a small multiple of the upstream RTT so
+/// children time out before their parents (§3.1).
+struct CountQuery {
+  ip::ChannelId channel;
+  CountId count_id = kSubscriberId;
+  sim::Duration timeout = sim::seconds(1);
+  /// Correlates replies with queries; 0 is reserved for unsolicited
+  /// (tree-maintenance / proactive) Counts.
+  std::uint32_t query_seq = 0;
+};
+
+/// Count(channel, countId, count, [K]) — either an aggregated reply to a
+/// CountQuery (query_seq != 0) or an unsolicited tree-maintenance /
+/// proactive update (query_seq == 0). A non-zero unsolicited subscriber
+/// Count is a join; a zero one is a leave (§3.2).
+struct Count {
+  ip::ChannelId channel;
+  CountId count_id = kSubscriberId;
+  std::int64_t count = 0;
+  std::uint32_t query_seq = 0;
+  std::optional<ip::ChannelKey> key;  ///< only on authenticated channels
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kUnsupportedCount = 1,
+  kInvalidKey = 2,
+  kNotOnTree = 3,
+};
+
+/// CountResponse(channel, countId, status) — acknowledges or rejects a
+/// Count; carries subscription validation results downstream (§3.2).
+struct CountResponse {
+  ip::ChannelId channel;
+  CountId count_id = kSubscriberId;
+  Status status = Status::kOk;
+};
+
+/// channelKey(channel, K) service-interface call, carried from the
+/// source host to its first-hop router. The router records the
+/// authoritative key; thereafter only subscriptions presenting K are
+/// accepted anywhere on the tree (validated hop-by-hop, cached).
+struct KeyRegister {
+  ip::ChannelId channel;
+  ip::ChannelKey key = ip::kNoKey;
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kUnsupportedCount: return "unsupported-count";
+    case Status::kInvalidKey: return "invalid-key";
+    case Status::kNotOnTree: return "not-on-tree";
+  }
+  return "unknown";
+}
+
+}  // namespace express::ecmp

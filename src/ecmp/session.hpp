@@ -1,0 +1,69 @@
+// ECMP neighbor sessions.
+//
+// ECMP runs over TCP or UDP per interface (paper §3.2): TCP mode keeps a
+// connection per neighbor — one subscribe message and one unsubscribe per
+// channel, a single keepalive detects failure, no per-channel refresh;
+// UDP mode (for edge routers with many hosts) uses periodic CountQuery
+// refreshes like IGMP, with no report suppression (like IGMPv3).
+//
+// The simulator does not re-implement the TCP state machine; what ECMP
+// relies on is (a) reliable in-order delivery while the peer lives and
+// (b) prompt failure detection. NeighborTable provides (b): liveness
+// tracked from any ECMP traffic plus periodic neighbor-discovery
+// queries (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace express::ecmp {
+
+enum class Mode : std::uint8_t {
+  kTcp,  ///< connection per neighbor; unsolicited joins/leaves only
+  kUdp,  ///< soft state; periodic query/refresh, explicit leaves
+};
+
+struct NeighborSession {
+  net::NodeId neighbor = net::kInvalidNode;
+  std::uint32_t iface = 0;
+  sim::Time last_heard{0};
+  bool alive = true;
+};
+
+/// Tracks per-neighbor liveness for one router.
+class NeighborTable {
+ public:
+  /// Record traffic (or an explicit keepalive/discovery reply) from
+  /// `neighbor` on `iface` at time `now`. Returns true only when a
+  /// previously *failed* session revives — the TCP re-establishment on
+  /// which the downstream neighbor re-announces all its channels
+  /// (§3.2). First contact returns false: the initial join itself is
+  /// the announcement.
+  bool heard_from(net::NodeId neighbor, std::uint32_t iface, sim::Time now);
+
+  /// Sweep for sessions silent longer than `timeout`; marks them dead
+  /// and returns them (the router then subtracts their counts, §3.2).
+  std::vector<NeighborSession> expire(sim::Time now, sim::Duration timeout);
+
+  /// Explicitly kill one session (e.g. link-down notification).
+  /// Returns the session if it was alive.
+  std::optional<NeighborSession> kill(net::NodeId neighbor);
+
+  [[nodiscard]] bool is_alive(net::NodeId neighbor) const;
+  [[nodiscard]] std::size_t alive_count() const;
+
+  [[nodiscard]] const std::unordered_map<net::NodeId, NeighborSession>&
+  sessions() const {
+    return sessions_;
+  }
+
+ private:
+  std::unordered_map<net::NodeId, NeighborSession> sessions_;
+};
+
+}  // namespace express::ecmp

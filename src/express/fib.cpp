@@ -1,0 +1,50 @@
+#include "express/fib.hpp"
+
+namespace express {
+
+const InterfaceSet* Fib::lookup(const ip::ChannelId& channel,
+                                std::uint32_t in_iface) {
+  ++stats_.lookups;
+  auto it = entries_.find(channel);
+  if (it == entries_.end()) {
+    ++stats_.no_entry_drops;
+    return nullptr;
+  }
+  if (it->second.iif != in_iface) {
+    ++stats_.rpf_drops;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second.oifs;
+}
+
+std::optional<PackedFibEntry> pack(const ip::ChannelId& channel,
+                                   const FibEntry& entry) {
+  if (!channel.dest.is_single_source()) return std::nullopt;
+  if (entry.iif >= 32 || !entry.oifs.fits_in_32()) return std::nullopt;
+  PackedFibEntry p{};
+  p.source = channel.source.value();
+  const std::uint32_t index = channel.dest.channel_index();
+  p.dest24[0] = static_cast<std::uint8_t>(index >> 16);
+  p.dest24[1] = static_cast<std::uint8_t>((index >> 8) & 0xFF);
+  p.dest24[2] = static_cast<std::uint8_t>(index & 0xFF);
+  p.iif = static_cast<std::uint8_t>(entry.iif);
+  p.oifs = entry.oifs.low32();
+  return p;
+}
+
+std::pair<ip::ChannelId, FibEntry> unpack(const PackedFibEntry& packed) {
+  const std::uint32_t index = (std::uint32_t{packed.dest24[0]} << 16) |
+                              (std::uint32_t{packed.dest24[1]} << 8) |
+                              std::uint32_t{packed.dest24[2]};
+  ip::ChannelId channel{ip::Address{packed.source},
+                        ip::Address::single_source(index)};
+  FibEntry entry;
+  entry.iif = packed.iif;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    if (packed.oifs & (1U << i)) entry.oifs.set(i);
+  }
+  return {channel, entry};
+}
+
+}  // namespace express

@@ -1,0 +1,94 @@
+// The EXPRESS Forwarding Information Base.
+//
+// One entry per channel per on-tree router, keyed by the full (S, E)
+// pair — an exact-match lookup, unlike longest-prefix unicast lookup.
+// The forwarding rule (paper §3.4) is the conventional multicast fast
+// path unchanged: match (S, E); if the arrival interface equals the
+// entry's RPF interface, replicate to the outgoing set; otherwise drop.
+// A packet matching no entry is *counted and dropped* — never sent to a
+// rendezvous point (PIM-SM) or flooded (DVMRP/PIM-DM).
+//
+// PackedFibEntry is the paper's Fig. 5 hardware format: 12 bytes
+// assuming <= 32 interfaces, the basis of the §5.1 memory-cost analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "express/interface_set.hpp"
+#include "ip/channel.hpp"
+
+namespace express {
+
+/// Fig. 5: | source 32b | dest 24b | iif 5b (byte here) | oifs 32b | = 12 B.
+struct PackedFibEntry {
+  std::uint32_t source;
+  std::uint8_t dest24[3];  ///< channel index within 232/8
+  std::uint8_t iif;        ///< incoming (RPF) interface, 5 bits used
+  std::uint32_t oifs;      ///< outgoing interface bitmap
+};
+static_assert(sizeof(PackedFibEntry) == 12, "Fig. 5 fixes the entry at 12 bytes");
+
+struct FibEntry {
+  std::uint32_t iif = 0;   ///< only packets arriving here are forwarded
+  InterfaceSet oifs;       ///< replication set
+};
+
+struct FibStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t no_entry_drops = 0;  ///< counted-and-dropped (no match)
+  std::uint64_t rpf_drops = 0;       ///< matched but wrong arrival interface
+};
+
+class Fib {
+ public:
+  /// Insert or overwrite the entry for `channel`.
+  FibEntry& upsert(const ip::ChannelId& channel) { return entries_[channel]; }
+
+  void erase(const ip::ChannelId& channel) { entries_.erase(channel); }
+
+  [[nodiscard]] const FibEntry* find(const ip::ChannelId& channel) const {
+    auto it = entries_.find(channel);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] FibEntry* find(const ip::ChannelId& channel) {
+    auto it = entries_.find(channel);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Fast-path lookup: returns the replication set when the packet
+  /// should be forwarded, nullopt when it must be dropped (either no
+  /// entry or RPF failure). Updates the drop counters.
+  [[nodiscard]] const InterfaceSet* lookup(const ip::ChannelId& channel,
+                                           std::uint32_t in_iface);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const FibStats& stats() const { return stats_; }
+
+  /// Bytes this FIB would occupy in the Fig. 5 packed format.
+  [[nodiscard]] std::size_t packed_bytes() const {
+    return entries_.size() * sizeof(PackedFibEntry);
+  }
+
+  [[nodiscard]] const std::unordered_map<ip::ChannelId, FibEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<ip::ChannelId, FibEntry> entries_;
+  FibStats stats_;
+};
+
+/// Convert a runtime entry to the Fig. 5 packed format. Requires the
+/// channel to be single-source, iif < 32, and all oifs < 32.
+[[nodiscard]] std::optional<PackedFibEntry> pack(const ip::ChannelId& channel,
+                                                 const FibEntry& entry);
+
+/// Reconstruct (channel, entry) from the packed form. The source address
+/// round-trips exactly; the destination is rebuilt in 232/8.
+[[nodiscard]] std::pair<ip::ChannelId, FibEntry> unpack(const PackedFibEntry& packed);
+
+}  // namespace express

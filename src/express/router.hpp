@@ -1,0 +1,249 @@
+// The EXPRESS router: ECMP state machine + channel fast path.
+//
+// One class implements everything the paper asks of an on-tree router:
+//
+//  * Distribution-tree maintenance (§3.2): a non-zero subscriberId Count
+//    from a neighbor is a join, zero is a leave; the router aggregates
+//    per-interface subscriber counts, installs/removes FIB entries, and
+//    propagates joins/leaves toward the source along the unicast RPF
+//    path. No rendezvous points, no flooding.
+//  * Generic counting (§3.1): CountQuery fan-out to downstream tree
+//    neighbors with the per-hop timeout decrement, Count aggregation,
+//    and partial replies on timeout. Routers may initiate queries
+//    themselves (network-layer resource counts never reach hosts).
+//  * Authenticated subscriptions (§3.2/§3.5): the source registers
+//    K(S,E) at its first-hop router; joins carry the key upstream until
+//    a router that knows it validates or rejects via CountResponse, and
+//    validated keys are cached so later joins are checked locally.
+//  * TCP/UDP transport modes (§3.2) per interface, neighbor discovery
+//    and keepalive (§3.3), route-change re-join with hysteresis (§3.2),
+//    subcast decapsulation (§2.1), and proactive counting (§6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "counting/error_curve.hpp"
+#include "ecmp/batcher.hpp"
+#include "ecmp/codec.hpp"
+#include "ecmp/count_id.hpp"
+#include "ecmp/messages.hpp"
+#include "ecmp/session.hpp"
+#include "express/fib.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace express {
+
+struct RouterConfig {
+  /// Multiple of the upstream-link RTT subtracted from a CountQuery's
+  /// timeout at each hop, so children time out before parents (§3.1).
+  double timeout_rtt_multiple = 2.0;
+
+  /// Delay before acting on an upstream change, to damp route flaps (§3.2).
+  sim::Duration route_change_hysteresis = sim::seconds(1);
+
+  /// Enable periodic neighbor discovery / keepalive queries (§3.3).
+  bool neighbor_discovery = false;
+  sim::Duration neighbor_query_interval = sim::seconds(30);
+  sim::Duration neighbor_timeout = sim::seconds(95);
+
+  /// UDP-mode soft state: per-channel refresh query interval and the
+  /// number of unanswered intervals before a downstream entry expires.
+  sim::Duration udp_query_interval = sim::seconds(60);
+  std::uint32_t udp_robustness = 2;
+
+  /// When set, subscriber counts are maintained proactively (§6):
+  /// aggregate changes are pushed upstream per the error-tolerance curve
+  /// instead of only at 0 <-> non-zero transitions.
+  std::optional<counting::CurveParams> proactive;
+
+  /// TCP-mode segment batching (§5.3): coalesce ECMP messages to each
+  /// neighbor for up to this window (or until a 1480-byte segment
+  /// fills) before transmitting. Unset = one packet per message.
+  std::optional<sim::Duration> batch_window;
+};
+
+struct RouterStats {
+  std::uint64_t subscribe_events = 0;     ///< downstream entries created
+  std::uint64_t unsubscribe_events = 0;   ///< downstream entries removed
+  std::uint64_t counts_received = 0;
+  std::uint64_t counts_sent = 0;
+  std::uint64_t queries_received = 0;
+  std::uint64_t queries_sent = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t control_bytes_sent = 0;
+  std::uint64_t control_bytes_received = 0;
+  std::uint64_t joins_sent = 0;           ///< 0 -> non-zero Counts upstream
+  std::uint64_t prunes_sent = 0;          ///< non-zero -> 0 Counts upstream
+  std::uint64_t proactive_updates_sent = 0;
+  std::uint64_t data_packets_forwarded = 0;  ///< input packets replicated
+  std::uint64_t data_copies_sent = 0;        ///< total output copies
+  std::uint64_t subcasts_relayed = 0;
+  std::uint64_t auth_rejects = 0;
+  std::uint64_t key_registrations = 0;
+};
+
+/// Aggregate result of a count collection.
+struct CountResult {
+  std::int64_t count = 0;
+  bool complete = false;  ///< false when assembled from a partial timeout
+};
+
+class ExpressRouter : public net::Node {
+ public:
+  ExpressRouter(net::Network& network, net::NodeId id, RouterConfig config = {});
+
+  void handle_packet(const net::Packet& packet, std::uint32_t in_iface) override;
+  void on_routing_change() override;
+
+  /// Transport mode for an interface (default TCP, §3.2: TCP for core
+  /// routers, UDP for edge interfaces with many end hosts).
+  void set_interface_mode(std::uint32_t iface, ecmp::Mode mode);
+  [[nodiscard]] ecmp::Mode interface_mode(std::uint32_t iface) const;
+
+  /// Router-initiated count (§3.1): any on-tree router can measure its
+  /// subtree without source cooperation, e.g. a transit domain's ingress
+  /// counting the links the channel uses inside the domain.
+  void initiate_count(const ip::ChannelId& channel, ecmp::CountId count_id,
+                      sim::Duration timeout,
+                      std::function<void(CountResult)> done);
+
+  // --- Introspection for tests, benches, and operators ---------------
+  [[nodiscard]] const Fib& fib() const { return fib_; }
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+  [[nodiscard]] bool on_tree(const ip::ChannelId& channel) const {
+    return channels_.contains(channel);
+  }
+  /// Current subscriber-count sum over downstream neighbors (the
+  /// router's c_cur in the proactive-counting algorithm).
+  [[nodiscard]] std::int64_t subtree_count(const ip::ChannelId& channel) const;
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+  /// §5.2 management-level (non-fast-path) state estimate in bytes.
+  [[nodiscard]] std::size_t management_state_bytes() const;
+  /// Upstream neighbor currently used for a channel, if joined.
+  [[nodiscard]] std::optional<net::NodeId> upstream_of(
+      const ip::ChannelId& channel) const;
+
+  /// Observer invoked whenever a channel's subtree count changes at this
+  /// router; Fig. 8 samples this at the tree root.
+  using TotalObserver =
+      std::function<void(const ip::ChannelId&, std::int64_t, sim::Time)>;
+  void set_total_observer(TotalObserver observer) {
+    total_observer_ = std::move(observer);
+  }
+
+ private:
+  struct DownstreamEntry {
+    std::int64_t count = 0;
+    ip::ChannelKey key = ip::kNoKey;
+    bool validated = false;        ///< accepted (locally or by upstream)
+    sim::Time last_refresh{0};     ///< UDP-mode soft-state timestamp
+  };
+
+  struct ChannelState {
+    std::unordered_map<net::NodeId, DownstreamEntry> downstream;
+    std::optional<ip::ChannelKey> cached_key;  ///< validated K(S,E)
+    /// Key carried in our not-yet-validated upstream join: the upstream
+    /// verdict applies to exactly this key, so concurrently accepted
+    /// joins that presented a different key are re-validated separately.
+    std::optional<ip::ChannelKey> pending_sent_key;
+    bool validated_upstream = false;
+    std::int64_t advertised_upstream = 0;  ///< last Count sent up (0 = off-tree)
+    net::NodeId upstream = net::kInvalidNode;
+    std::uint32_t rpf_iface = 0;
+    std::optional<counting::ProactiveState> proactive;
+    sim::EventHandle proactive_check;
+    sim::EventHandle pending_switch;  ///< hysteresis timer for route change
+  };
+
+  struct PendingQuery {
+    ip::ChannelId channel;
+    ecmp::CountId count_id = ecmp::kSubscriberId;
+    std::uint32_t query_seq = 0;
+    std::optional<net::NodeId> requester;  ///< upstream; nullopt = local origin
+    std::int64_t sum = 0;
+    std::uint32_t outstanding = 0;
+    bool timed_out = false;
+    sim::EventHandle timer;
+    std::function<void(CountResult)> local_done;
+  };
+
+  // --- message handling ----------------------------------------------
+  void handle_ecmp(const net::Packet& packet, std::uint32_t in_iface);
+  void on_count(const ecmp::Count& msg, net::NodeId from, std::uint32_t iface);
+  void on_query(const ecmp::CountQuery& msg, net::NodeId from,
+                std::uint32_t iface);
+  void on_response(const ecmp::CountResponse& msg, net::NodeId from);
+  void on_key_register(const ecmp::KeyRegister& msg, net::NodeId from);
+  void forward_data(const net::Packet& packet, std::uint32_t in_iface);
+  void relay_subcast(const net::Packet& packet);
+
+  // --- subscription machinery ----------------------------------------
+  void apply_subscriber_count(const ip::ChannelId& channel, net::NodeId from,
+                              std::uint32_t iface, std::int64_t count,
+                              std::optional<ip::ChannelKey> key);
+  void update_upstream(const ip::ChannelId& channel, ChannelState& state,
+                       std::optional<ip::ChannelKey> key_to_forward);
+  void remove_channel(const ip::ChannelId& channel);
+  void refresh_fib(const ip::ChannelId& channel, ChannelState& state);
+  void evaluate_proactive(const ip::ChannelId& channel, ChannelState& state);
+  /// Validation outcome flowing back down (CountResponse from upstream).
+  void resolve_validation(const ip::ChannelId& channel, ecmp::Status status);
+  [[nodiscard]] bool key_acceptable(const ip::ChannelId& channel,
+                                    const ChannelState& state,
+                                    std::optional<ip::ChannelKey> key,
+                                    bool& locally_decidable) const;
+
+  // --- counting machinery ---------------------------------------------
+  void start_query(const ip::ChannelId& channel, ecmp::CountId count_id,
+                   sim::Duration timeout, std::optional<net::NodeId> requester,
+                   std::uint32_t query_seq,
+                   std::function<void(CountResult)> local_done);
+  void finish_query(std::uint64_t key, bool timed_out);
+  [[nodiscard]] std::int64_t local_contribution(const ip::ChannelId& channel,
+                                                const ChannelState& state,
+                                                ecmp::CountId count_id) const;
+
+  // --- transport -------------------------------------------------------
+  void send_message(net::NodeId neighbor, const ecmp::Message& msg);
+  void schedule_udp_refresh();
+  void udp_refresh_tick();
+  void schedule_neighbor_discovery();
+  void neighbor_discovery_tick();
+  void neighbor_died(net::NodeId neighbor);
+  [[nodiscard]] net::NodeId source_node(const ip::ChannelId& channel) const;
+  [[nodiscard]] sim::Duration upstream_rtt(std::uint32_t iface) const;
+  /// Interface leading to `neighbor`: directly attached, or through a
+  /// LAN hub (resolved via the routing table).
+  [[nodiscard]] std::optional<std::uint32_t> iface_toward(
+      net::NodeId neighbor) const;
+  /// True if this interface attaches to a multi-access LAN segment.
+  [[nodiscard]] bool iface_is_lan(std::uint32_t iface) const;
+
+  [[nodiscard]] static std::uint64_t pending_key(const ip::ChannelId& channel,
+                                                 ecmp::CountId count_id,
+                                                 std::uint32_t query_seq);
+
+  RouterConfig config_;
+  Fib fib_;
+  RouterStats stats_;
+  std::unordered_map<ip::ChannelId, ChannelState> channels_;
+  /// Authoritative keys registered by directly attached sources.
+  std::unordered_map<ip::ChannelId, ip::ChannelKey> key_registry_;
+  std::unordered_map<std::uint64_t, PendingQuery> pending_queries_;
+  std::unordered_map<std::uint32_t, ecmp::Mode> iface_modes_;
+  ecmp::NeighborTable neighbors_;
+  std::unique_ptr<ecmp::Batcher> batcher_;  ///< §5.3 segment coalescing
+  TotalObserver total_observer_;
+  std::uint32_t next_local_seq_ = 1;
+  bool udp_refresh_scheduled_ = false;
+};
+
+}  // namespace express

@@ -1,0 +1,101 @@
+// IPv4 addresses and the multicast / single-source address taxonomy.
+//
+// EXPRESS (paper Fig. 2) carves the 232/8 block out of class D for
+// single-source channels: every source host can name 2^24 channels by
+// choosing the low 24 bits of E, with no global allocation service.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace express::ip {
+
+/// An IPv4 address in host byte order.
+class Address {
+ public:
+  constexpr Address() = default;
+  constexpr explicit Address(std::uint32_t value) : value_(value) {}
+  constexpr Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parse dotted-quad text; returns nullopt on malformed input.
+  static std::optional<Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Class D: 224.0.0.0 - 239.255.255.255.
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return (value_ & 0xF0000000U) == 0xE0000000U;
+  }
+
+  /// The IANA single-source range the paper uses: 232.0.0.0/8.
+  [[nodiscard]] constexpr bool is_single_source() const {
+    return (value_ >> 24) == 232U;
+  }
+
+  /// Administratively scoped block 239/8 (contrasted in the paper's
+  /// footnote 2: scoping does not help globally-dispersed audiences).
+  [[nodiscard]] constexpr bool is_admin_scoped() const {
+    return (value_ >> 24) == 239U;
+  }
+
+  /// Link-local control block 224.0.0/24 (IGMP/ECMP well-known range).
+  [[nodiscard]] constexpr bool is_link_local_multicast() const {
+    return (value_ & 0xFFFFFF00U) == 0xE0000000U;
+  }
+
+  /// Usable as a unicast host address for our purposes.
+  [[nodiscard]] constexpr bool is_unicast() const {
+    return value_ != 0 && !is_multicast();
+  }
+
+  /// The channel index within a source's 2^24-channel space, valid only
+  /// for single-source addresses.
+  [[nodiscard]] constexpr std::uint32_t channel_index() const {
+    return value_ & 0x00FFFFFFU;
+  }
+
+  /// Build the n-th single-source destination address (n < 2^24).
+  static constexpr Address single_source(std::uint32_t index) {
+    return Address{0xE8000000U | (index & 0x00FFFFFFU)};
+  }
+
+  friend constexpr auto operator<=>(Address, Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Number of channels each host interface can source (2^24, paper §2).
+inline constexpr std::uint64_t kChannelsPerHost = 1ULL << 24;
+
+/// Size of the whole class D space (2^28 usable group addresses,
+/// paper §1 problem four: "just 256 million multicast addresses").
+inline constexpr std::uint64_t kClassDAddresses = 1ULL << 28;
+
+/// Well-known destination for link-local ECMP control traffic
+/// (paper §3.2: "all multicast ECMP datagrams are sent to a well-known
+/// ECMP address"). We use an address in the link-local control block.
+inline constexpr Address kEcmpAllRouters{224, 0, 0, 105};
+
+}  // namespace express::ip
+
+template <>
+struct std::hash<express::ip::Address> {
+  std::size_t operator()(const express::ip::Address& a) const noexcept {
+    // splitmix-style avalanche of the 32-bit value.
+    std::uint64_t x = a.value();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,54 @@
+// Minimal IPv4 header encode/decode with the real RFC 791 checksum.
+//
+// The simulator mostly passes structured packets around, but the wire
+// codec is exercised by the ECMP message codec, the subcast IP-in-IP
+// encapsulation, and the codec tests — it keeps the byte-level story
+// honest without simulating full IP fragmentation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ip/address.hpp"
+
+namespace express::ip {
+
+/// IP protocol numbers used by this codebase.
+enum class Protocol : std::uint8_t {
+  kIcmp = 1,
+  kIgmp = 2,     ///< host membership + DVMRP control (baselines)
+  kIpInIp = 4,   ///< subcast / PIM Register / CBT off-tree encapsulation
+  kTcp = 6,
+  kCbt = 7,      ///< CBT control (baseline)
+  kUdp = 17,
+  kPim = 103,    ///< PIM-SM control (baseline)
+  kEcmp = 143,   ///< our ECMP-over-raw demo protocol number (experimental range)
+};
+
+struct Header {
+  Address source;
+  Address dest;
+  Protocol protocol = Protocol::kUdp;
+  std::uint8_t ttl = 64;
+  std::uint16_t payload_length = 0;  ///< bytes following the 20-byte header
+  std::uint16_t identification = 0;
+
+  static constexpr std::size_t kSize = 20;
+
+  /// Serialize into exactly kSize bytes (header checksum computed).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Append the encoded header to `out`.
+  void encode_to(std::vector<std::uint8_t>& out) const;
+
+  /// Parse and checksum-verify a header from the front of `bytes`.
+  /// Returns nullopt on truncation, bad version/IHL, or checksum failure.
+  static std::optional<Header> decode(std::span<const std::uint8_t> bytes);
+};
+
+/// RFC 1071 internet checksum over an arbitrary byte span.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes);
+
+}  // namespace express::ip

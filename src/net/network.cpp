@@ -1,0 +1,122 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace express::net {
+
+namespace {
+
+sim::Duration serialization_delay(std::uint32_t bytes, double bandwidth_bps) {
+  if (bandwidth_bps <= 0) return sim::Duration{0};
+  const double secs = static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  return sim::seconds_f(secs);
+}
+
+}  // namespace
+
+sim::Time Network::reserve_link(NodeId from, LinkId link, std::uint32_t bytes,
+                                sim::Time earliest) {
+  const LinkInfo& l = topology_.link(link);
+  const std::size_t direction = (l.a == from) ? 0 : 1;
+  sim::Time& free_at = link_free_.at(link)[direction];
+  const sim::Time start = std::max(earliest, free_at);
+  const sim::Time done = start + serialization_delay(bytes, l.bandwidth_bps);
+  free_at = done;
+  auto& ls = link_stats_.at(link);
+  ++ls.packets;
+  ls.bytes += bytes;
+  ++stats_.packets_sent;
+  stats_.bytes_sent += bytes;
+  return done + l.delay;  // arrival at the peer
+}
+
+void Network::transmit(NodeId from, LinkId link, Packet packet) {
+  const LinkInfo& l = topology_.link(link);
+  if (!l.up) {
+    ++stats_.packets_dropped_link_down;
+    return;
+  }
+  const NodeId to = topology_.peer(link, from);
+  const sim::Time arrival =
+      reserve_link(from, link, packet.wire_size(), scheduler_.now());
+  auto iface_at_peer = topology_.interface_on(to, link);
+  scheduler_.schedule_at(
+      arrival, [this, to, iface = *iface_at_peer, p = std::move(packet)]() {
+        if (Node* n = node(to)) n->handle_packet(p, iface);
+      });
+}
+
+void Network::send_on_interface(NodeId from, std::uint32_t iface, Packet packet) {
+  const LinkId link = topology_.node(from).interfaces.at(iface);
+  transmit(from, link, std::move(packet));
+}
+
+void Network::send_to_neighbor(NodeId from, NodeId neighbor, Packet packet) {
+  auto iface = topology_.interface_to(from, neighbor);
+  if (!iface) throw std::logic_error("send_to_neighbor: not adjacent");
+  send_on_interface(from, *iface, std::move(packet));
+}
+
+void Network::send_unicast(NodeId from, Packet packet) {
+  auto dest = node_of(packet.dst);
+  if (!dest) {
+    ++stats_.packets_dropped_no_route;
+    return;
+  }
+  const auto hops = routing_.path(from, *dest);
+  if (hops.empty() && from != *dest) {
+    ++stats_.packets_dropped_no_route;
+    return;
+  }
+  if (from == *dest) {
+    // Loopback delivery: interface index is irrelevant; use 0.
+    scheduler_.schedule_after(sim::Duration{0},
+                              [this, to = from, p = std::move(packet)]() {
+                                if (Node* n = node(to)) n->handle_packet(p, 0);
+                              });
+    return;
+  }
+  // Walk the path, reserving FIFO serialization on every link in turn,
+  // decrementing TTL per hop; deliver only at the destination.
+  sim::Time at = scheduler_.now();
+  const std::uint32_t size = packet.wire_size();
+  std::uint8_t ttl = packet.ttl;
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (ttl == 0) {
+      ++stats_.packets_dropped_ttl;
+      return;
+    }
+    --ttl;
+    auto iface = topology_.interface_to(hops[i], hops[i + 1]);
+    const LinkId link = topology_.node(hops[i]).interfaces.at(*iface);
+    if (!topology_.link(link).up) {
+      ++stats_.packets_dropped_link_down;
+      return;
+    }
+    at = reserve_link(hops[i], link, size, at);
+  }
+  packet.ttl = ttl;
+  const NodeId to = *dest;
+  const NodeId prev = hops[hops.size() - 2];
+  auto iface_at_dest = topology_.interface_to(to, prev);
+  scheduler_.schedule_at(at, [this, to, iface = iface_at_dest.value_or(0),
+                              p = std::move(packet)]() {
+    if (Node* n = node(to)) n->handle_packet(p, iface);
+  });
+}
+
+void Network::set_link_up(LinkId link, bool up) {
+  topology_.set_link_up(link, up);
+  routing_.recompute();
+  for (auto& n : nodes_) {
+    if (n) n->on_routing_change();
+  }
+}
+
+std::uint64_t Network::total_link_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& ls : link_stats_) sum += ls.bytes;
+  return sum;
+}
+
+}  // namespace express::net

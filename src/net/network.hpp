@@ -1,0 +1,132 @@
+// The network fabric: glues topology, routing, scheduler, and nodes.
+//
+// Transmission model: each link direction is a FIFO transmitter — a
+// packet starts serializing when the line is free (so small packets
+// never overtake large ones, as on real links), takes wire_size /
+// bandwidth to serialize, then propagates for the link delay. Per-link
+// byte and packet counters feed the bandwidth-cost experiments. Unicast
+// convenience routing walks the shortest path link by link so delay and
+// link accounting stay faithful without requiring every node to
+// implement an IP forwarding plane.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+
+namespace express::net {
+
+struct LinkStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_dropped_link_down = 0;
+  std::uint64_t packets_dropped_no_route = 0;
+  std::uint64_t packets_dropped_ttl = 0;
+};
+
+class Network {
+ public:
+  explicit Network(Topology topology)
+      : topology_(std::move(topology)),
+        routing_(topology_),
+        link_stats_(topology_.link_count()),
+        link_free_(topology_.link_count()) {
+    for (NodeId i = 0; i < topology_.node_count(); ++i) {
+      address_index_.emplace(topology_.node(i).address, i);
+    }
+  }
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] const UnicastRouting& routing() const { return routing_; }
+  [[nodiscard]] sim::Time now() const { return scheduler_.now(); }
+
+  /// Construct and register a node of type T at topology node `id`.
+  /// T's constructor must take (Network&, NodeId, extra args...).
+  template <typename T, typename... Args>
+  T& attach(NodeId id, Args&&... args) {
+    if (nodes_.size() < topology_.node_count()) {
+      nodes_.resize(topology_.node_count());
+    }
+    auto node = std::make_unique<T>(*this, id, std::forward<Args>(args)...);
+    T& ref = *node;
+    nodes_.at(id) = std::move(node);
+    return ref;
+  }
+
+  [[nodiscard]] Node* node(NodeId id) {
+    return id < nodes_.size() ? nodes_[id].get() : nullptr;
+  }
+
+  /// Resolve a unicast address to its topology node (O(1) index).
+  [[nodiscard]] std::optional<NodeId> node_of(ip::Address address) const {
+    auto it = address_index_.find(address);
+    if (it == address_index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Transmit `packet` from `from` out its interface `iface`. Dropped
+  /// (and counted) if the link is down.
+  void send_on_interface(NodeId from, std::uint32_t iface, Packet packet);
+
+  /// Transmit to a directly attached neighbor (resolves the interface).
+  void send_to_neighbor(NodeId from, NodeId neighbor, Packet packet);
+
+  /// Route a unicast packet hop-by-hop from `from` to the topology node
+  /// owning packet.dst, charging every traversed link, and deliver it
+  /// there. Packets to unreachable destinations are counted and dropped.
+  /// Intermediate nodes do NOT see the packet (pure IP transit).
+  void send_unicast(NodeId from, Packet packet);
+
+  /// Fail or restore a link; recomputes routing and notifies all nodes.
+  void set_link_up(LinkId link, bool up);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const LinkStats& link_stats(LinkId link) const {
+    return link_stats_.at(link);
+  }
+
+  /// Sum of bytes over all links (total delivered bandwidth-volume).
+  [[nodiscard]] std::uint64_t total_link_bytes() const;
+
+  /// Run the simulation until `deadline`.
+  void run_until(sim::Time deadline) { scheduler_.run_until(deadline); }
+  void run() { scheduler_.run(); }
+
+ private:
+  void transmit(NodeId from, LinkId link, Packet packet);
+
+  /// Reserve FIFO transmission time on one link direction starting no
+  /// earlier than `earliest`; returns the arrival time at the peer.
+  sim::Time reserve_link(NodeId from, LinkId link, std::uint32_t bytes,
+                         sim::Time earliest);
+
+  Topology topology_;
+  UnicastRouting routing_;
+  sim::Scheduler scheduler_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<LinkStats> link_stats_;
+  /// Per link, per direction ([0]: a->b, [1]: b->a): when the
+  /// transmitter becomes free (FIFO serialization).
+  std::vector<std::array<sim::Time, 2>> link_free_;
+  std::unordered_map<ip::Address, NodeId> address_index_;
+  NetworkStats stats_;
+};
+
+}  // namespace express::net

@@ -1,0 +1,12 @@
+#include "net/node.hpp"
+
+#include "net/network.hpp"
+
+namespace express::net {
+
+Node::Node(Network& network, NodeId id)
+    : network_(&network),
+      id_(id),
+      address_(network.topology().node(id).address) {}
+
+}  // namespace express::net

@@ -1,0 +1,49 @@
+// Simulated packets.
+//
+// A packet carries the IPv4 addressing fields the protocols dispatch on,
+// a byte payload (control protocols encode/decode real wire bytes), and
+// bookkeeping used by tests and the bandwidth accounting. Subcast's
+// IP-in-IP encapsulation is modelled with a shared inner packet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ip/address.hpp"
+#include "ip/header.hpp"
+
+namespace express::net {
+
+struct Packet {
+  ip::Address src;
+  ip::Address dst;
+  ip::Protocol protocol = ip::Protocol::kUdp;
+  std::uint8_t ttl = 64;
+
+  /// Control payload wire bytes (ECMP, IGMP, PIM messages...). Data
+  /// packets may leave this empty and set `data_bytes` instead.
+  std::vector<std::uint8_t> payload;
+
+  /// Application data size in bytes, for packets whose content the
+  /// simulation does not need byte-for-byte (e.g. a video frame).
+  std::uint32_t data_bytes = 0;
+
+  /// Application-level sequence tag so receivers/tests can identify
+  /// exactly which transmissions arrived.
+  std::uint64_t sequence = 0;
+
+  /// Encapsulated packet for IP-in-IP subcast (protocol == kIpInIp).
+  std::shared_ptr<const Packet> inner;
+
+  /// Total on-wire size: IP header + control bytes + data bytes
+  /// (+ the encapsulated packet when present).
+  [[nodiscard]] std::uint32_t wire_size() const {
+    std::uint32_t size = static_cast<std::uint32_t>(ip::Header::kSize) +
+                         static_cast<std::uint32_t>(payload.size()) + data_bytes;
+    if (inner) size += inner->wire_size();
+    return size;
+  }
+};
+
+}  // namespace express::net

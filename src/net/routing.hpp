@@ -1,0 +1,75 @@
+// Unicast routing: link-state shortest paths over the topology.
+//
+// ECMP's tree-building leg is deliberately thin: subscriptions are routed
+// toward the source with reverse-path forwarding on whatever the unicast
+// routing protocol already computed (paper §3: "the RPF routing component
+// of ECMP relies on, and scales with, existing unicast topology
+// information"). This class is that existing information — an all-pairs
+// shortest-path table recomputed on topology changes, exactly what a
+// converged link-state IGP would give each router.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace express::net {
+
+class UnicastRouting {
+ public:
+  explicit UnicastRouting(const Topology& topo) : topo_(&topo) { recompute(); }
+
+  /// Rebuild all routing tables; call after any link up/down change.
+  /// Incremented `version()` lets protocol code detect staleness.
+  void recompute();
+
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Next hop from `from` toward `to`; nullopt when unreachable or equal.
+  [[nodiscard]] std::optional<NodeId> next_hop(NodeId from, NodeId to) const;
+
+  /// Total path cost, or nullopt when unreachable.
+  [[nodiscard]] std::optional<std::uint32_t> cost(NodeId from, NodeId to) const;
+
+  /// Hop count of the shortest path (by cost), or nullopt when unreachable.
+  [[nodiscard]] std::optional<std::uint32_t> hop_count(NodeId from, NodeId to) const;
+
+  /// Propagation delay summed along the path, or nullopt when unreachable.
+  [[nodiscard]] std::optional<sim::Duration> path_delay(NodeId from, NodeId to) const;
+
+  /// Full node sequence from `from` to `to` inclusive; empty when
+  /// unreachable. For from == to returns {from}.
+  [[nodiscard]] std::vector<NodeId> path(NodeId from, NodeId to) const;
+
+  /// Reverse-path-forwarding neighbor: the neighbor of `node` on the
+  /// shortest path toward `source`. This is where a router sends joins,
+  /// and the only interface from which it accepts channel data.
+  [[nodiscard]] std::optional<NodeId> rpf_neighbor(NodeId node, NodeId source) const {
+    return next_hop(node, source);
+  }
+
+  /// Interface index of the RPF neighbor on `node`.
+  [[nodiscard]] std::optional<std::uint32_t> rpf_interface(NodeId node,
+                                                           NodeId source) const;
+
+ private:
+  static constexpr std::uint32_t kUnreachable =
+      std::numeric_limits<std::uint32_t>::max();
+
+  void dijkstra(NodeId origin);
+
+  const Topology* topo_;
+  std::uint64_t version_ = 0;
+  // tables_[origin][dest] = {cost, first_hop_from_origin, hops, delay_ns}
+  struct Entry {
+    std::uint32_t cost = kUnreachable;
+    NodeId first_hop = kInvalidNode;
+    std::uint32_t hops = 0;
+    std::int64_t delay_ns = 0;
+  };
+  std::vector<std::vector<Entry>> tables_;
+};
+
+}  // namespace express::net

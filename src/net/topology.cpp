@@ -1,0 +1,68 @@
+#include "net/topology.hpp"
+
+namespace express::net {
+
+NodeId Topology::add_node(NodeKind kind, std::string name,
+                          std::optional<ip::Address> address) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  NodeInfo info;
+  info.kind = kind;
+  info.name = name.empty() ? ("n" + std::to_string(id)) : std::move(name);
+  info.address = address.value_or(
+      ip::Address{static_cast<std::uint32_t>(0x0A000001U + id)});
+  nodes_.push_back(std::move(info));
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, sim::Duration delay,
+                          std::uint32_t cost, double bandwidth_bps) {
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(LinkInfo{a, b, delay, bandwidth_bps, cost, true});
+  nodes_.at(a).interfaces.push_back(id);
+  nodes_.at(b).interfaces.push_back(id);
+  return id;
+}
+
+NodeId Topology::peer(LinkId link, NodeId from) const {
+  const LinkInfo& l = links_.at(link);
+  return l.a == from ? l.b : l.a;
+}
+
+std::optional<std::uint32_t> Topology::interface_on(NodeId node,
+                                                    LinkId link) const {
+  const auto& ifaces = nodes_.at(node).interfaces;
+  for (std::uint32_t i = 0; i < ifaces.size(); ++i) {
+    if (ifaces[i] == link) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> Topology::interface_to(NodeId node,
+                                                    NodeId neighbor) const {
+  const auto& ifaces = nodes_.at(node).interfaces;
+  for (std::uint32_t i = 0; i < ifaces.size(); ++i) {
+    if (peer(ifaces[i], node) == neighbor) return i;
+  }
+  return std::nullopt;
+}
+
+NodeId Topology::neighbor_via(NodeId node, std::uint32_t iface) const {
+  return peer(nodes_.at(node).interfaces.at(iface), node);
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId node) const {
+  std::vector<NodeId> out;
+  for (LinkId l : nodes_.at(node).interfaces) {
+    if (links_.at(l).up) out.push_back(peer(l, node));
+  }
+  return out;
+}
+
+std::optional<NodeId> Topology::find_by_address(ip::Address addr) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].address == addr) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace express::net

@@ -1,0 +1,116 @@
+// Network topology: nodes, point-to-point links, and interfaces.
+//
+// The topology is the static (but failure-aware) graph underneath the
+// simulation. Nodes are routers or hosts; links are bidirectional with a
+// propagation delay, a bandwidth, and a routing cost. Each endpoint of a
+// link occupies one interface slot on its node — interface indices are
+// what EXPRESS FIB entries and per-interface subscriber counts key on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ip/address.hpp"
+#include "sim/time.hpp"
+
+namespace express::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+enum class NodeKind : std::uint8_t {
+  kRouter,
+  kHost,
+  kLanHub,  ///< layer-2 repeater for multi-access segments (net/lan.hpp)
+};
+
+struct NodeInfo {
+  NodeKind kind = NodeKind::kRouter;
+  ip::Address address;            ///< the node's unicast address
+  std::string name;               ///< for traces and error messages
+  std::uint16_t domain = 0;       ///< administrative domain (settlements)
+  std::vector<LinkId> interfaces; ///< interface i attaches to interfaces[i]
+};
+
+struct LinkInfo {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  sim::Duration delay = sim::milliseconds(1);
+  double bandwidth_bps = 100e6;  ///< used for serialization delay + accounting
+  std::uint32_t cost = 1;        ///< unicast routing metric
+  bool up = true;
+};
+
+/// Mutable graph of nodes and links. Addresses are assigned automatically
+/// (10.x.y.z for routers and hosts) unless provided.
+class Topology {
+ public:
+  /// Add a node; returns its id. Address defaults to 10.(id>>16).(id>>8).(id)
+  /// +1 so node 0 is 10.0.0.1.
+  NodeId add_node(NodeKind kind, std::string name = {},
+                  std::optional<ip::Address> address = std::nullopt);
+
+  NodeId add_router(std::string name = {}) {
+    return add_node(NodeKind::kRouter, std::move(name));
+  }
+  NodeId add_host(std::string name = {}) {
+    return add_node(NodeKind::kHost, std::move(name));
+  }
+
+  /// Connect two nodes; returns the link id. Each call consumes one new
+  /// interface slot on both endpoints.
+  LinkId add_link(NodeId a, NodeId b,
+                  sim::Duration delay = sim::milliseconds(1),
+                  std::uint32_t cost = 1, double bandwidth_bps = 100e6);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const NodeInfo& node(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] const LinkInfo& link(LinkId id) const { return links_.at(id); }
+
+  /// Mark a link up/down (failure injection). Routing must be recomputed
+  /// by the owner afterwards.
+  void set_link_up(LinkId id, bool up) { links_.at(id).up = up; }
+
+  /// Assign a node to an administrative domain (default 0). Used by
+  /// domain-scoped network-layer counts (transit settlements).
+  void set_domain(NodeId id, std::uint16_t domain) {
+    nodes_.at(id).domain = domain;
+  }
+
+  /// The node on the far side of `link` from `from`.
+  [[nodiscard]] NodeId peer(LinkId link, NodeId from) const;
+
+  /// The interface index on `node` that attaches to `link`, or nullopt.
+  [[nodiscard]] std::optional<std::uint32_t> interface_on(NodeId node,
+                                                          LinkId link) const;
+
+  /// The interface index on `node` leading directly to `neighbor`.
+  [[nodiscard]] std::optional<std::uint32_t> interface_to(NodeId node,
+                                                          NodeId neighbor) const;
+
+  /// The neighbor reached through interface `iface` of `node`.
+  [[nodiscard]] NodeId neighbor_via(NodeId node, std::uint32_t iface) const;
+
+  /// All live neighbors of `node`.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId node) const;
+
+  /// Find a node by its unicast address (linear scan; test/tool use).
+  [[nodiscard]] std::optional<NodeId> find_by_address(ip::Address addr) const;
+
+  [[nodiscard]] std::uint32_t interface_count(NodeId node) const {
+    return static_cast<std::uint32_t>(nodes_.at(node).interfaces.size());
+  }
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<LinkInfo> links_;
+};
+
+}  // namespace express::net

@@ -1,0 +1,45 @@
+#include "relay/monitor.hpp"
+
+#include <memory>
+
+namespace express::relay {
+
+void enable_loss_reports(Participant& participant, ExpressHost& host) {
+  host.set_count_handler(kLossReportId, [&participant]() {
+    return std::optional<std::int64_t>(
+        static_cast<std::int64_t>(participant.missing_seqs().size()));
+  });
+}
+
+void SessionMonitor::poll(sim::Duration timeout,
+                          std::function<void(Sample)> done) {
+  auto sample = std::make_shared<Sample>();
+  sample->at = host_.network().now();
+  auto pending = std::make_shared<int>(2);
+  auto finish = [done = std::move(done), sample, pending]() {
+    if (--*pending == 0 && done) done(*sample);
+  };
+  host_.count_query(channel_, ecmp::kSubscriberId, timeout,
+                    [sample, finish](CountResult r) {
+                      sample->group_size = r.count;
+                      sample->complete = sample->complete && r.complete;
+                      finish();
+                    });
+  host_.count_query(channel_, kLossReportId, timeout,
+                    [sample, finish](CountResult r) {
+                      sample->total_losses = r.count;
+                      sample->complete = sample->complete && r.complete;
+                      finish();
+                    });
+}
+
+void SessionMonitor::start_periodic(sim::Duration interval,
+                                    sim::Duration timeout) {
+  periodic_ = host_.network().scheduler().schedule_after(
+      interval, [this, interval, timeout]() {
+        poll(timeout, [this](Sample s) { samples_.push_back(s); });
+        start_periodic(interval, timeout);
+      });
+}
+
+}  // namespace express::relay

@@ -1,0 +1,59 @@
+// Session monitoring over ECMP counting — the RTCP replacement (§4.5).
+//
+// "Many uses of RTCP, such as measuring group size and average loss
+// rate, are readily implemented with the CountQuery mechanism." The
+// monitor runs at the session source (or SR): it periodically collects
+// the subscriber count and the sum of participants' loss reports
+// (missing relay sequence numbers), with none of RTCP's multi-sender
+// rate-sharing machinery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ecmp/count_id.hpp"
+#include "express/host.hpp"
+#include "relay/participant.hpp"
+
+namespace express::relay {
+
+/// App-defined countId carrying each participant's cumulative loss
+/// count (number of missing relay sequence numbers).
+inline constexpr ecmp::CountId kLossReportId = ecmp::kAppRangeBegin + 0x100;
+
+/// Register the loss-report responder on a participant's host so the
+/// monitor's queries see its gap count.
+void enable_loss_reports(Participant& participant, ExpressHost& host);
+
+class SessionMonitor {
+ public:
+  struct Sample {
+    sim::Time at{};
+    std::int64_t group_size = 0;
+    std::int64_t total_losses = 0;
+    bool complete = true;
+  };
+
+  SessionMonitor(ExpressHost& source_host, ip::ChannelId channel)
+      : host_(source_host), channel_(channel) {}
+
+  /// One measurement round: group size, then losses; `done` fires when
+  /// both aggregates are in.
+  void poll(sim::Duration timeout, std::function<void(Sample)> done);
+
+  /// Sample every `interval` until the session ends; results accumulate
+  /// in samples().
+  void start_periodic(sim::Duration interval, sim::Duration timeout);
+  void stop() { periodic_.cancel(); }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  ExpressHost& host_;
+  ip::ChannelId channel_;
+  std::vector<Sample> samples_;
+  sim::EventHandle periodic_;
+};
+
+}  // namespace express::relay

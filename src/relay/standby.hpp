@@ -1,0 +1,51 @@
+// Backup session relays (§4.2).
+//
+// "An application can select to use additional backup SRs for fault-
+// tolerance, controlling their number, placement, and switch-over
+// policy." StandbyCluster pairs a primary SR with a backup: the backup
+// host subscribes to the primary channel, watches heartbeats, and
+// activates its own relay when the primary goes silent. Participants
+// fail over independently (hot: already subscribed; cold: subscribe on
+// detection).
+#pragma once
+
+#include <optional>
+
+#include "relay/participant.hpp"
+#include "relay/session_relay.hpp"
+
+namespace express::relay {
+
+struct StandbyConfig {
+  std::uint32_t activate_after_missed = 3;
+  sim::Duration heartbeat_interval = sim::seconds(1);
+};
+
+class StandbyCluster {
+ public:
+  /// `backup_host` must be a different host than the primary SR's; it
+  /// runs `backup` (inactive) and promotes it on primary failure.
+  StandbyCluster(SessionRelay& primary, SessionRelay& backup,
+                 ExpressHost& backup_host, StandbyConfig config = {});
+
+  [[nodiscard]] bool backup_active() const { return backup_.active(); }
+  [[nodiscard]] std::optional<sim::Time> promoted_at() const {
+    return promoted_at_;
+  }
+
+  /// Start monitoring (subscribes the backup host to the primary channel).
+  void start();
+
+ private:
+  void arm_timer();
+  void promote();
+
+  SessionRelay& primary_;
+  SessionRelay& backup_;
+  ExpressHost& backup_host_;
+  StandbyConfig config_;
+  std::optional<sim::Time> promoted_at_;
+  sim::EventHandle timer_;
+};
+
+}  // namespace express::relay

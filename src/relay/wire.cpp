@@ -1,0 +1,55 @@
+#include "relay/wire.hpp"
+
+namespace express::relay {
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(Frame::kSize);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  const std::uint32_t addr = frame.speaker.value();
+  out.push_back(static_cast<std::uint8_t>(addr >> 24));
+  out.push_back(static_cast<std::uint8_t>((addr >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((addr >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(addr & 0xFF));
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>((frame.relay_seq >> shift) & 0xFF));
+  }
+  return out;
+}
+
+std::optional<Frame> decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < Frame::kSize) return std::nullopt;
+  const std::uint8_t type = bytes[0];
+  if (type < 1 ||
+      type > static_cast<std::uint8_t>(FrameType::kChannelAnnounce)) {
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.speaker = ip::Address{(std::uint32_t{bytes[1]} << 24) |
+                              (std::uint32_t{bytes[2]} << 16) |
+                              (std::uint32_t{bytes[3]} << 8) |
+                              std::uint32_t{bytes[4]}};
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    seq = (seq << 8) | bytes[static_cast<std::size_t>(5 + i)];
+  }
+  frame.relay_seq = seq;
+  return frame;
+}
+
+Frame make_channel_announce(const ip::ChannelId& channel) {
+  Frame frame;
+  frame.type = FrameType::kChannelAnnounce;
+  frame.speaker = channel.source;
+  frame.relay_seq = channel.dest.channel_index();
+  return frame;
+}
+
+ip::ChannelId announced_channel(const Frame& frame) {
+  return ip::ChannelId{
+      frame.speaker,
+      ip::Address::single_source(static_cast<std::uint32_t>(frame.relay_seq))};
+}
+
+}  // namespace express::relay

@@ -1,0 +1,84 @@
+#include "reliable/publisher.hpp"
+
+#include <memory>
+
+namespace express::reliable {
+
+Publisher::Publisher(ExpressHost& host, ip::ChannelId channel,
+                     PublisherConfig config)
+    : host_(host), channel_(channel), config_(config) {}
+
+void Publisher::publish(std::uint32_t count) {
+  for (std::uint32_t block = 1; block <= count; ++block) {
+    host_.send(channel_, config_.block_bytes, block);
+  }
+  blocks_ = std::max(blocks_, count);
+}
+
+void Publisher::retransmit(std::uint32_t block) {
+  ++retransmissions_;
+  if (config_.repair_point) {
+    // Subcast (§2.1): only the subtree below the relay point pays.
+    host_.subcast(channel_, *config_.repair_point, config_.block_bytes, block);
+  } else {
+    host_.send(channel_, config_.block_bytes, block);
+  }
+}
+
+void Publisher::run_repair_round(std::function<void(RepairReport)> done) {
+  const std::uint32_t round = ++rounds_;
+  auto report = std::make_shared<RepairReport>();
+  report->round = round;
+  auto outstanding = std::make_shared<std::uint32_t>(blocks_);
+  if (blocks_ == 0) {
+    if (done) done(*report);
+    return;
+  }
+  for (std::uint32_t block = 1; block <= blocks_; ++block) {
+    const auto count_id = static_cast<ecmp::CountId>(kNackBase + block);
+    host_.count_query(
+        channel_, count_id, config_.nack_timeout,
+        [this, block, report, outstanding,
+         done](CountResult result) {
+          if (result.count > 0) {
+            report->blocks_missing.push_back(block);
+            report->total_nacks += result.count;
+            retransmit(block);
+          }
+          if (--*outstanding == 0) {
+            report->retransmitted =
+                static_cast<std::uint32_t>(report->blocks_missing.size());
+            if (done) done(*report);
+          }
+        });
+  }
+}
+
+Subscriber::Subscriber(ExpressHost& host, ip::ChannelId channel,
+                       std::uint32_t expected_blocks,
+                       std::optional<ip::ChannelKey> key)
+    : host_(host), channel_(channel), expected_(expected_blocks) {
+  host_.set_data_handler([this](const net::Packet& packet, sim::Time) {
+    if (ip::ChannelId{packet.src, packet.dst} != channel_) return;
+    if (packet.sequence >= 1 && packet.sequence <= expected_) {
+      received_.insert(static_cast<std::uint32_t>(packet.sequence));
+    }
+  });
+  for (std::uint32_t block = 1; block <= expected_blocks; ++block) {
+    const auto count_id = static_cast<ecmp::CountId>(kNackBase + block);
+    host_.set_count_handler(count_id, [this, block]() {
+      return std::optional<std::int64_t>(received_.contains(block) ? 0 : 1);
+    });
+  }
+  host_.new_subscription(channel_, key);
+}
+
+std::vector<std::uint32_t> Subscriber::missing() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t block = 1; block <= expected_; ++block) {
+    if (!received_.contains(block)) out.push_back(block);
+  }
+  return out;
+}
+
+}  // namespace express::reliable

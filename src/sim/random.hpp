@@ -1,0 +1,73 @@
+// Deterministic pseudo-random source for workloads and jitter.
+//
+// Simulation runs must be reproducible from (seed, scenario), so all
+// randomness flows through this PCG32 generator rather than std::random
+// engines whose distributions vary across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace express::sim {
+
+/// PCG-XSH-RR 64/32. Small, fast, statistically solid, and fully
+/// specified here so results are identical across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    state_ = 0;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + increment_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint32_t below(std::uint32_t bound) {
+    // Lemire-style rejection keeps the distribution exactly uniform.
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      std::uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_u64() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponential variate with the given mean (> 0); used for churn
+  /// inter-arrival times.
+  double exponential(double mean);
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_ = 0;
+  static constexpr std::uint64_t increment_ = 1442695040888963407ULL;
+};
+
+}  // namespace express::sim

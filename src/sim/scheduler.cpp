@@ -1,0 +1,43 @@
+#include "sim/scheduler.hpp"
+
+namespace express::sim {
+
+EventHandle Scheduler::schedule_at(Time when, Action action) {
+  if (when < now_) when = now_;
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Entry{when, next_seq_++, alive, std::move(action)});
+  return EventHandle{std::move(alive)};
+}
+
+std::uint64_t Scheduler::run_until(Time deadline) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // Copy out before pop: the action may schedule new events.
+    Entry e = queue_.top();
+    queue_.pop();
+    if (!*e.alive) continue;
+    *e.alive = false;  // fired events no longer report pending()
+    now_ = e.when;
+    e.action();
+    ++executed_;
+    ++ran;
+  }
+  if (deadline != kNever && now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (!*e.alive) continue;
+    *e.alive = false;  // fired events no longer report pending()
+    now_ = e.when;
+    e.action();
+    ++executed_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace express::sim

@@ -1,0 +1,98 @@
+// Discrete-event scheduler.
+//
+// The Scheduler is the heart of the substrate: every link transmission,
+// protocol timer, and workload event is a closure queued at an absolute
+// simulated time. Events at equal times fire in insertion order, which
+// keeps runs bit-for-bit deterministic for a given seed and scenario.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace express::sim {
+
+/// Handle to a scheduled event; allows O(1) logical cancellation.
+/// Cancellation is lazy: the event stays queued but is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly
+  /// and safe on a default-constructed (empty) handle.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if this handle refers to an event that can still fire.
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Time-ordered event queue with a monotonically advancing clock.
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time. Starts at zero.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Number of events still queued (including lazily-cancelled ones).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed since construction (cancelled events excluded).
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  /// Schedule `action` to run at absolute time `when`. Scheduling in the
+  /// past is a logic error; it is clamped to `now()` so the event still
+  /// fires (and fires deterministically after already-queued events at
+  /// the same instant).
+  EventHandle schedule_at(Time when, Action action);
+
+  /// Schedule `action` to run `delay` after the current time.
+  EventHandle schedule_after(Duration delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Run events until the queue empties or `deadline` is passed. The
+  /// clock is left at the later of its current value and the deadline
+  /// (when a deadline is given), or at the last executed event time.
+  /// Returns the number of events executed by this call.
+  std::uint64_t run_until(Time deadline);
+
+  /// Run until the queue is empty.
+  std::uint64_t run() { return run_until(kNever); }
+
+  /// Run at most one event; returns false if the queue had none eligible.
+  bool step();
+
+ private:
+  struct Entry {
+    Time when{};
+    std::uint64_t seq = 0;  // tie-break: FIFO among equal times
+    std::shared_ptr<bool> alive;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace express::sim

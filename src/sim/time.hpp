@@ -1,0 +1,41 @@
+// Simulation time primitives.
+//
+// All simulator components share one monotonically non-decreasing clock
+// owned by sim::Scheduler. Time is an absolute nanosecond count since the
+// start of the simulation; Duration is a nanosecond span. Both are thin
+// std::chrono aliases so the usual chrono arithmetic and literals apply.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace express::sim {
+
+/// A span of simulated time.
+using Duration = std::chrono::nanoseconds;
+
+/// An absolute point on the simulation clock (nanoseconds since t=0).
+using Time = std::chrono::nanoseconds;
+
+/// Convenience constructors mirroring the paper's units (it reasons in
+/// seconds for counting and in RTTs for protocol timers).
+constexpr Duration nanoseconds(std::int64_t n) { return Duration{n}; }
+constexpr Duration microseconds(std::int64_t n) { return Duration{n * 1'000}; }
+constexpr Duration milliseconds(std::int64_t n) { return Duration{n * 1'000'000}; }
+constexpr Duration seconds(std::int64_t n) { return Duration{n * 1'000'000'000}; }
+
+/// Fractional seconds, used by the proactive-counting error curves where
+/// tau and dt are real-valued.
+constexpr Duration seconds_f(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e9)};
+}
+
+/// Convert a Duration (or Time) back to fractional seconds.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+
+/// Sentinel meaning "never" for optional deadlines.
+constexpr Time kNever = Time::max();
+
+}  // namespace express::sim

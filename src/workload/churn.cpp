@@ -1,0 +1,78 @@
+#include "workload/churn.hpp"
+
+#include <algorithm>
+
+namespace express::workload {
+
+namespace {
+
+void sort_events(std::vector<ChurnEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+}  // namespace
+
+std::vector<ChurnEvent> poisson_churn(std::uint32_t hosts,
+                                      sim::Duration horizon,
+                                      sim::Duration mean_lifetime,
+                                      sim::Duration mean_offtime,
+                                      sim::Rng& rng) {
+  std::vector<ChurnEvent> events;
+  const double horizon_s = sim::to_seconds(horizon);
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    double t = rng.uniform() * horizon_s;
+    bool joined = false;
+    while (t < horizon_s) {
+      events.push_back(ChurnEvent{sim::seconds_f(t), h, !joined});
+      joined = !joined;
+      t += rng.exponential(joined ? sim::to_seconds(mean_lifetime)
+                                  : sim::to_seconds(mean_offtime));
+    }
+    if (joined) {
+      // Leave inside the horizon so runs end with an empty tree.
+      events.push_back(ChurnEvent{horizon, h, false});
+    }
+  }
+  sort_events(events);
+  return events;
+}
+
+std::vector<ChurnEvent> fig8_schedule(const Fig8Params& params, sim::Rng& rng) {
+  std::vector<ChurnEvent> events;
+  events.reserve(params.subscribers * 2);
+  const double burst_s = sim::to_seconds(params.burst_window);
+  const double trickle_start = burst_s;
+  const double trickle_end = sim::to_seconds(params.trickle_end);
+  const double quiet_until = sim::to_seconds(params.quiet_until);
+  const double leave_s = sim::to_seconds(params.leave_window);
+
+  const std::uint32_t trickle =
+      params.subscribers - params.initial_burst - params.second_burst;
+
+  std::uint32_t host = 0;
+  for (std::uint32_t i = 0; i < params.initial_burst; ++i, ++host) {
+    events.push_back(ChurnEvent{sim::seconds_f(rng.uniform() * burst_s), host,
+                                true});
+  }
+  for (std::uint32_t i = 0; i < trickle; ++i, ++host) {
+    const double t =
+        trickle_start + rng.uniform() * (trickle_end - trickle_start);
+    events.push_back(ChurnEvent{sim::seconds_f(t), host, true});
+  }
+  for (std::uint32_t i = 0; i < params.second_burst; ++i, ++host) {
+    events.push_back(ChurnEvent{
+        sim::seconds_f(trickle_end + rng.uniform() * burst_s), host, true});
+  }
+  // Mass unsubscribe after the quiet period.
+  for (std::uint32_t h = 0; h < host; ++h) {
+    events.push_back(ChurnEvent{
+        sim::seconds_f(quiet_until + rng.uniform() * leave_s), h, false});
+  }
+  sort_events(events);
+  return events;
+}
+
+}  // namespace express::workload

@@ -1,0 +1,47 @@
+// Subscription churn generators.
+//
+// Produce time-stamped join/leave schedules over a pool of receiver
+// hosts: steady Poisson churn for the maintenance-cost experiments and
+// the exact Fig. 8 scenario (burst, trickle, burst, quiet, mass leave)
+// for the proactive-counting reproduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace express::workload {
+
+struct ChurnEvent {
+  sim::Time at{};
+  std::uint32_t host_index = 0;
+  bool join = true;
+};
+
+/// Steady-state churn: every host joins at a uniformly random time in
+/// [0, horizon) and stays for an exponential lifetime with the given
+/// mean (re-joining after an exponential off-time until the horizon).
+std::vector<ChurnEvent> poisson_churn(std::uint32_t hosts, sim::Duration horizon,
+                                      sim::Duration mean_lifetime,
+                                      sim::Duration mean_offtime,
+                                      sim::Rng& rng);
+
+/// The Fig. 8 schedule (paper §6): "an initial burst of subscriptions at
+/// time 0, followed by slow subscriptions until time 200, a burst of
+/// subscriptions at time 200, then no activity until time 300, when all
+/// hosts unsubscribe quickly." Peaks at `subscribers` (~250) members.
+struct Fig8Params {
+  std::uint32_t subscribers = 250;
+  std::uint32_t initial_burst = 120;   ///< join within [0, burst_window)
+  std::uint32_t second_burst = 80;     ///< join within [200, 200+burst_window)
+  sim::Duration burst_window = sim::seconds(5);
+  sim::Duration trickle_end = sim::seconds(200);
+  sim::Duration quiet_until = sim::seconds(300);
+  sim::Duration leave_window = sim::seconds(10);
+};
+
+std::vector<ChurnEvent> fig8_schedule(const Fig8Params& params, sim::Rng& rng);
+
+}  // namespace express::workload

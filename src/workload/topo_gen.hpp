@@ -1,0 +1,59 @@
+// Topology generators for experiments.
+//
+// The paper's analysis assumes star worst cases, 25-hop paths, and trees
+// with fanout ~2; the Fig. 8 simulation needs a few hundred receivers
+// under one source. These builders produce those shapes plus a random
+// two-level transit-stub graph standing in for wide-area structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+
+namespace express::workload {
+
+/// A generated topology together with the roles tests need.
+struct GeneratedTopology {
+  net::Topology topology;
+  net::NodeId source_host = net::kInvalidNode;
+  net::NodeId source_router = net::kInvalidNode;  ///< first-hop of the source
+  std::vector<net::NodeId> receiver_hosts;
+  std::vector<net::NodeId> routers;
+};
+
+struct LinkParams {
+  sim::Duration core_delay = sim::milliseconds(5);
+  sim::Duration edge_delay = sim::milliseconds(1);
+  double core_bandwidth_bps = 1e9;
+  double edge_bandwidth_bps = 100e6;
+};
+
+/// Star: one root router, `receivers` hosts each behind its own chain of
+/// `hops` routers (hops >= 1). hops == 1 is the paper's no-sharing worst
+/// case where an n-receiver channel occupies n*h entries.
+GeneratedTopology make_star(std::uint32_t receivers, std::uint32_t hops = 1,
+                            const LinkParams& links = {});
+
+/// Complete k-ary tree of routers with the given depth; `hosts_per_leaf`
+/// receiver hosts per leaf router, source host at the root.
+GeneratedTopology make_kary_tree(std::uint32_t arity, std::uint32_t depth,
+                                 const LinkParams& links = {},
+                                 std::uint32_t hosts_per_leaf = 1);
+
+/// Line (chain) of `routers` routers; source host on one end, one
+/// receiver host on the other — a 25-router line reproduces the paper's
+/// h = 25 path-length assumption.
+GeneratedTopology make_line(std::uint32_t routers, const LinkParams& links = {});
+
+/// Random two-level transit-stub-like graph: a ring+chords transit core
+/// of `transit` routers, each with `stubs_per_transit` stub routers, each
+/// stub serving `hosts_per_stub` receiver hosts. Deterministic in `rng`.
+GeneratedTopology make_transit_stub(std::uint32_t transit,
+                                    std::uint32_t stubs_per_transit,
+                                    std::uint32_t hosts_per_stub,
+                                    sim::Rng& rng,
+                                    const LinkParams& links = {});
+
+}  // namespace express::workload

@@ -1,0 +1,30 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace express::workload {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) {
+  cdf_.reserve(n);
+  double sum = 0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_.push_back(sum);
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+std::uint32_t ZipfSampler::sample(sim::Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<std::uint32_t>(cdf_.size() - 1);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::uint32_t rank) const {
+  if (rank >= cdf_.size()) return 0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace express::workload

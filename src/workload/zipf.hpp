@@ -1,0 +1,29 @@
+// Zipf-distributed channel popularity.
+//
+// The §5 scaling experiments spread subscribers across many channels;
+// real audiences are heavy-tailed (a few Super Bowls, many small
+// channels), so the channel chosen by each subscriber follows Zipf(s).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace express::workload {
+
+class ZipfSampler {
+ public:
+  /// `n` ranks with exponent `s` (s = 1 is classic Zipf).
+  ZipfSampler(std::uint32_t n, double s);
+
+  /// Sample a rank in [0, n) with P(k) proportional to 1/(k+1)^s.
+  [[nodiscard]] std::uint32_t sample(sim::Rng& rng) const;
+
+  [[nodiscard]] double probability(std::uint32_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace express::workload

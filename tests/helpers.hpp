@@ -1,0 +1,11 @@
+// Shared test scaffolding — the library Testbed under the name the
+// tests historically used.
+#pragma once
+
+#include "express/testbed.hpp"
+
+namespace express::test {
+
+using ExpressNetwork = ::express::Testbed;
+
+}  // namespace express::test

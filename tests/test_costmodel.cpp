@@ -1,0 +1,115 @@
+// The paper's analytic cost models, checked against the numbers printed
+// in §5 and §6.
+#include <gtest/gtest.h>
+
+#include "costmodel/counting_cost.hpp"
+#include "costmodel/fib_cost.hpp"
+#include "costmodel/maintenance_cost.hpp"
+#include "costmodel/mgmt_cost.hpp"
+
+namespace express::costmodel {
+namespace {
+
+TEST(FibCost, PerEntryPriceMatchesPaper) {
+  // "each 12 byte FIB entry uses 0.066 cents of memory" ($55/MB).
+  FibCostParams p;
+  const double dollars = p.memory_cost_per_byte * p.bytes_per_entry;
+  EXPECT_NEAR(dollars, 0.00066, 0.00004);
+}
+
+TEST(FibCost, TenWayConferenceUnderEightCents) {
+  // §5.1: k=10 channels, n=10 receivers, h=25 hops, 20 minutes, 1%
+  // utilization, 1-year lifetime. Evaluating the paper's own Fig. 6
+  // formula gives c_s = 2500 * $0.00066 * 1200/(31536000 * 0.01)
+  // = ~$0.0063 — the paper prints $0.075, which is that value times
+  // another factor of 12 (the bytes-per-entry applied twice; see
+  // EXPERIMENTS.md). Either way the headline claim holds:
+  EXPECT_LT(ten_way_conference_cost(), 0.08);  // "less than eight cents"
+  EXPECT_NEAR(ten_way_conference_cost(), 0.00628, 0.0005);
+  // ... and well under a cent per participant by the formula.
+  EXPECT_LT(ten_way_conference_cost() / 10, 0.01);
+}
+
+TEST(FibCost, EntryCostScalesLinearlyWithDuration) {
+  FibCostParams p;
+  EXPECT_NEAR(entry_cost(p, 2400), 2 * entry_cost(p, 1200), 1e-12);
+}
+
+TEST(FibCost, StockTickerExample) {
+  // §5.1: 100,000 subscribers, ~200,000 entries, held a full year.
+  const auto ticker = stock_ticker_cost();
+  EXPECT_EQ(ticker.entries, 200'000);
+  // 200,000 * $0.00066 / 0.01 = ~$13,200/year.
+  EXPECT_NEAR(ticker.yearly_cost, 13'200, 700);
+  // A fraction of a dollar per subscriber per year — versus the $1.00
+  // per potential viewer per *month* of community cable.
+  EXPECT_LT(ticker.cost_per_subscriber, 0.25);
+}
+
+TEST(FibCost, WorstCaseEntriesIsStarTopologyBound) {
+  EXPECT_EQ(session_entries(1, 100, 25), 2500);
+  EXPECT_EQ(session_entries(10, 10, 25), 2500);
+}
+
+TEST(MgmtCost, TwoHundredBytesPerChannel) {
+  // §5.2: 32B x 3 records x 2 outstanding + 8B key = 200 bytes.
+  EXPECT_DOUBLE_EQ(bytes_per_channel(), 200.0);
+}
+
+TEST(MgmtCost, ChannelLifetimeCostUnderFiftiethOfACent) {
+  // "each channel costs less than 1/50-th of a cent" at $1/MB DRAM.
+  const double cost = channel_lifetime_cost();
+  EXPECT_LT(cost, 0.01 / 50);
+  EXPECT_GT(cost, 0.0);
+}
+
+TEST(Maintenance, MillionChannelScenario) {
+  // §5.3: 1M channels, 20-minute lifetimes, fanout 2:
+  //   receives 4M Counts / 20 min = ~3,333/s; sends half = ~1,667/s;
+  //   ~5,000 events/s total; 92 Counts per segment; ~36 segments/s;
+  //   ~424 kb/s inbound control bandwidth.
+  const auto load = maintenance_load();
+  EXPECT_NEAR(load.events_received_per_second, 3333, 1);
+  EXPECT_NEAR(load.events_sent_per_second, 1667, 1);
+  EXPECT_NEAR(load.total_events_per_second, 5000, 1);
+  EXPECT_EQ(static_cast<int>(load.messages_per_segment), 92);
+  EXPECT_NEAR(load.segments_received_per_second, 36.2, 0.5);
+  EXPECT_NEAR(load.control_bits_received_per_second, 429'000, 8'000);
+}
+
+TEST(Maintenance, PaperCpuUtilizationArithmetic) {
+  // 4,500 events/s at ~3,500 cycles each on a 400 MHz CPU = ~4%.
+  EXPECT_NEAR(cpu_utilization(4500, 3500, 400e6), 0.04, 0.005);
+  // 33,000 events/s at ~5,200 cycles = ~43%.
+  EXPECT_NEAR(cpu_utilization(33'000, 5200, 400e6), 0.43, 0.01);
+}
+
+TEST(Maintenance, LoadScalesLinearlyWithChannels) {
+  MaintenanceParams p;
+  p.active_channels = 2'000'000;
+  const auto doubled = maintenance_load(p);
+  const auto base = maintenance_load();
+  EXPECT_NEAR(doubled.total_events_per_second,
+              2 * base.total_events_per_second, 1e-6);
+}
+
+TEST(CountingCost, PollingScalesWithTreeAndRate) {
+  PollingParams p;
+  p.tree_edges = 1000;
+  p.poll_period_seconds = 300;
+  const auto load = polling_load(p);
+  EXPECT_DOUBLE_EQ(load.messages_per_round, 2000);
+  EXPECT_NEAR(load.messages_per_second, 6.67, 0.01);
+
+  PollingParams faster = p;
+  faster.poll_period_seconds = 30;
+  EXPECT_NEAR(polling_load(faster).messages_per_second, 66.7, 0.1);
+}
+
+TEST(CountingCost, MoviePollExample) {
+  // §6: a 90-minute movie sampled every 5 minutes -> 18 rounds.
+  EXPECT_DOUBLE_EQ(movie_poll_messages(100, 300, 5400), 2 * 100 * 18);
+}
+
+}  // namespace
+}  // namespace express::costmodel

@@ -1,0 +1,140 @@
+// Unit tests for the proactive-counting error-tolerance curve (Fig. 7)
+// and the per-router proactive decision state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "counting/error_curve.hpp"
+
+namespace express::counting {
+namespace {
+
+TEST(ErrorCurve, DivergesNearZero) {
+  // Immediately after an update the curve tolerates even large drift —
+  // that is what batches burst arrivals (the crossing time for a drift
+  // e is tau * exp(-alpha*e/e_max), sub-second for large e).
+  ErrorCurve c(CurveParams{0.3, 120, 4});
+  EXPECT_TRUE(std::isinf(c.tolerance(0)));
+  EXPECT_GT(c.tolerance(1e-9), 1.0);  // ~1.9: even 190% drift waits a beat
+  // At dt = tau * e^(-alpha) the curve passes through e_max.
+  EXPECT_NEAR(c.tolerance(120 * std::exp(-4.0)), 0.3, 1e-9);
+}
+
+TEST(ErrorCurve, XInterceptAtTau) {
+  // tau is "the maximum delay until any change is transmitted upstream".
+  ErrorCurve c(CurveParams{0.3, 120, 4});
+  EXPECT_DOUBLE_EQ(c.tolerance(120), 0.0);
+  EXPECT_DOUBLE_EQ(c.tolerance(500), 0.0);
+}
+
+TEST(ErrorCurve, MonotonicallyDecreasing) {
+  ErrorCurve c(CurveParams{0.3, 120, 4});
+  double prev = c.tolerance(0.1);
+  for (double dt = 1; dt <= 120; dt += 1) {
+    const double tol = c.tolerance(dt);
+    EXPECT_LE(tol, prev + 1e-12) << "dt=" << dt;
+    prev = tol;
+  }
+}
+
+TEST(ErrorCurve, LargerAlphaIsTighter) {
+  // Fig. 7: alpha controls decay without changing e_max; alpha = 4
+  // tolerates less error than alpha = 2.5 at every dt, hence tracks
+  // the true count more closely (Fig. 8).
+  ErrorCurve tight(CurveParams{0.3, 120, 4});
+  ErrorCurve loose(CurveParams{0.3, 120, 2.5});
+  for (double dt = 3; dt < 120; dt += 3) {
+    EXPECT_LT(tight.tolerance(dt), loose.tolerance(dt) + 1e-12) << "dt=" << dt;
+  }
+  // Same maximum tolerance and same x-intercept.
+  EXPECT_DOUBLE_EQ(tight.tolerance(0), loose.tolerance(0));
+  EXPECT_DOUBLE_EQ(tight.tolerance(120), loose.tolerance(120));
+}
+
+TEST(ErrorCurve, TimeUntilSendInvertsTolerance) {
+  ErrorCurve c(CurveParams{0.3, 120, 4});
+  for (double err : {0.01, 0.05, 0.1, 0.2, 0.29}) {
+    const double dt = c.time_until_send(err);
+    EXPECT_NEAR(c.tolerance(dt), err, 1e-9) << "err=" << err;
+  }
+}
+
+TEST(ErrorCurve, TimeUntilSendEdgeCases) {
+  ErrorCurve c(CurveParams{0.3, 120, 4});
+  // At e = e_max the crossing is tau * e^(-alpha) ~ 2.2 s.
+  EXPECT_NEAR(c.time_until_send(0.3), 120 * std::exp(-4.0), 1e-9);
+  // Large errors cross almost immediately (sub-millisecond here).
+  EXPECT_LT(c.time_until_send(1.0), 0.01);
+  EXPECT_DOUBLE_EQ(c.time_until_send(0.0), 120.0);  // no drift: wait tau
+  EXPECT_DOUBLE_EQ(c.time_until_send(-1.0), 120.0);
+  // Monotone: bigger drift is due sooner.
+  EXPECT_LT(c.time_until_send(0.2), c.time_until_send(0.1));
+}
+
+TEST(RelativeError, Definition) {
+  // e_rel = max(|delta|/advertised, |delta|/current).
+  EXPECT_DOUBLE_EQ(relative_error(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(100, 110), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(100, 50), 1.0);
+  EXPECT_TRUE(std::isinf(relative_error(0, 5)));
+  EXPECT_TRUE(std::isinf(relative_error(5, 0)));
+  EXPECT_DOUBLE_EQ(relative_error(0, 0), 0.0);
+}
+
+TEST(ProactiveState, FirstNonZeroSendsImmediately) {
+  ProactiveState s(CurveParams{0.3, 120, 4});
+  EXPECT_FALSE(s.should_send(0, sim::seconds(0)));
+  EXPECT_TRUE(s.should_send(1, sim::seconds(0)));
+}
+
+TEST(ProactiveState, SmallDriftWaitsLargeDriftSendsSoon) {
+  ProactiveState s(CurveParams{0.3, 120, 4});
+  s.mark_sent(100, sim::seconds(0));
+  // 1% drift: tolerated until dt = 120 * exp(-4 * 0.01/0.3) ~ 105 s.
+  EXPECT_FALSE(s.should_send(101, sim::seconds(10)));
+  EXPECT_TRUE(s.should_send(101, sim::seconds(110)));
+  // 50% drift (> e_max): sent immediately.
+  EXPECT_TRUE(s.should_send(150, sim::seconds(1)));
+}
+
+TEST(ProactiveState, NextSendDelayMatchesCurveCrossing) {
+  ProactiveState s(CurveParams{0.3, 120, 4});
+  s.mark_sent(100, sim::seconds(0));
+  auto delay = s.next_send_delay(110, sim::seconds(0));
+  ASSERT_TRUE(delay.has_value());
+  // err = 0.1 -> due at dt* = 120 * exp(-4/3) ~ 31.6 s.
+  EXPECT_NEAR(sim::to_seconds(*delay), 120 * std::exp(-4.0 / 3.0), 0.01);
+  auto later = s.next_send_delay(110, sim::seconds(20));
+  ASSERT_TRUE(later.has_value());
+  EXPECT_NEAR(sim::to_seconds(*later), sim::to_seconds(*delay) - 20, 0.01);
+  // Past the crossing the remaining delay clamps at zero.
+  auto overdue = s.next_send_delay(110, sim::seconds(100));
+  ASSERT_TRUE(overdue.has_value());
+  EXPECT_DOUBLE_EQ(sim::to_seconds(*overdue), 0.0);
+  // The crossing is never later than tau, so any change flushes by tau.
+  auto tiny = s.next_send_delay(101, sim::seconds(0));
+  ASSERT_TRUE(tiny.has_value());
+  EXPECT_LE(sim::to_seconds(*tiny), 120.0);
+}
+
+TEST(ProactiveState, NoDriftNoCheck) {
+  ProactiveState s(CurveParams{0.3, 120, 4});
+  s.mark_sent(100, sim::seconds(0));
+  EXPECT_FALSE(s.next_send_delay(100, sim::seconds(50)).has_value());
+  EXPECT_FALSE(s.should_send(100, sim::seconds(400)));
+}
+
+TEST(ProactiveState, AnyChangeSentByTau) {
+  // Even a one-subscriber drift must be reported within tau seconds.
+  ProactiveState s(CurveParams{0.3, 120, 4});
+  s.mark_sent(1000, sim::seconds(0));
+  // err = 0.001 is tolerated until dt* = 120*exp(-4*0.001/0.3) ~ 118.4s.
+  EXPECT_FALSE(s.should_send(1001, sim::seconds(100)));
+  EXPECT_TRUE(s.should_send(1001, sim::seconds(119)));
+  EXPECT_TRUE(s.should_send(1001, sim::seconds(121)));
+}
+
+}  // namespace
+}  // namespace express::counting

@@ -1,0 +1,127 @@
+// Proactive counting end to end (§6): routers push Count updates
+// upstream per the error-tolerance curve, so the root's estimate tracks
+// the true membership without polling.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "workload/churn.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace express::test {
+namespace {
+
+using workload::make_kary_tree;
+
+RouterConfig proactive_config(double alpha, double tau_seconds = 5.0) {
+  RouterConfig config;
+  config.proactive = counting::CurveParams{0.3, tau_seconds, alpha};
+  return config;
+}
+
+TEST(Proactive, RootConvergesWithinTau) {
+  ExpressNetwork sim(make_kary_tree(2, 3), proactive_config(4.0));
+  const ip::ChannelId ch = sim.source().allocate_channel();
+  // Staggered joins: 8 receivers, one every 100 ms.
+  for (std::size_t i = 0; i < sim.receiver_count(); ++i) {
+    sim.net().scheduler().schedule_at(
+        sim::milliseconds(static_cast<std::int64_t>(100 * i)),
+        [&sim, &ch, i]() { sim.receiver(i).new_subscription(ch); });
+  }
+  sim.run_for(sim::seconds(1));
+  // After a quiet period of at least tau, every pending drift has been
+  // flushed: the root's estimate equals the true membership.
+  sim.run_for(sim::seconds(6));
+  EXPECT_EQ(sim.source_router().subtree_count(ch),
+            static_cast<std::int64_t>(sim.receiver_count()));
+}
+
+TEST(Proactive, TracksDeparturesToo) {
+  ExpressNetwork sim(make_kary_tree(2, 3), proactive_config(4.0));
+  const ip::ChannelId ch = sim.source().allocate_channel();
+  for (std::size_t i = 0; i < sim.receiver_count(); ++i) {
+    sim.receiver(i).new_subscription(ch);
+  }
+  sim.run_for(sim::seconds(7));
+  ASSERT_EQ(sim.source_router().subtree_count(ch), 8);
+
+  for (std::size_t i = 0; i < 5; ++i) {
+    sim.receiver(i).delete_subscription(ch);
+  }
+  sim.run_for(sim::seconds(7));
+  EXPECT_EQ(sim.source_router().subtree_count(ch), 3);
+}
+
+TEST(Proactive, LargeChangesPropagateQuickly) {
+  // A burst that doubles the membership exceeds e_max and must reach
+  // the root in network time, not curve time.
+  ExpressNetwork sim(make_kary_tree(2, 3), proactive_config(4.0, 60.0));
+  const ip::ChannelId ch = sim.source().allocate_channel();
+  sim.receiver(0).new_subscription(ch);
+  sim.run_for(sim::seconds(1));
+  ASSERT_EQ(sim.source_router().subtree_count(ch), 1);
+
+  for (std::size_t i = 1; i < sim.receiver_count(); ++i) {
+    sim.receiver(i).new_subscription(ch);
+  }
+  // Well under tau = 60 s, yet the estimate is already close: every
+  // router saw a > e_max relative jump and pushed immediately.
+  sim.run_for(sim::seconds(2));
+  EXPECT_GE(sim.source_router().subtree_count(ch), 6);
+}
+
+TEST(Proactive, TighterAlphaSendsMoreUpdates) {
+  // Fig. 8's tradeoff: alpha = 4 tracks more closely and costs more
+  // messages than alpha = 2.5 on the same workload.
+  auto run = [](double alpha) {
+    ExpressNetwork sim(make_kary_tree(2, 3), proactive_config(alpha, 30.0));
+    const ip::ChannelId ch = sim.source().allocate_channel();
+    sim::Rng rng(99);
+    // Slow trickle of many small changes (25 app-level subscriptions
+    // per host) so relative errors stay below e_max and the curve, not
+    // the immediate-send path, governs.
+    for (std::size_t i = 0; i < sim.receiver_count(); ++i) {
+      for (int k = 0; k < 25; ++k) {
+        const auto join_at = sim::seconds_f(rng.uniform() * 60);
+        const auto leave_at = sim::seconds_f(60 + rng.uniform() * 60);
+        sim.net().scheduler().schedule_at(join_at, [&sim, &ch, i]() {
+          sim.receiver(i).new_subscription(ch);
+        });
+        sim.net().scheduler().schedule_at(leave_at, [&sim, &ch, i]() {
+          sim.receiver(i).delete_subscription(ch);
+        });
+      }
+    }
+    sim.run_for(sim::seconds(150));
+    std::uint64_t updates = 0;
+    for (std::size_t i = 0; i < sim.router_count(); ++i) {
+      updates += sim.router(i).stats().proactive_updates_sent;
+    }
+    return updates;
+  };
+  const std::uint64_t tight = run(4.0);
+  const std::uint64_t loose = run(2.5);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(Proactive, QuiescentChannelSendsNothing) {
+  ExpressNetwork sim(make_kary_tree(2, 2), proactive_config(4.0));
+  const ip::ChannelId ch = sim.source().allocate_channel();
+  for (std::size_t i = 0; i < sim.receiver_count(); ++i) {
+    sim.receiver(i).new_subscription(ch);
+  }
+  sim.run_for(sim::seconds(10));  // converged and quiet
+  std::uint64_t counts_before = 0;
+  for (std::size_t i = 0; i < sim.router_count(); ++i) {
+    counts_before += sim.router(i).stats().counts_sent;
+  }
+  sim.run_for(sim::seconds(60));  // long quiet period
+  std::uint64_t counts_after = 0;
+  for (std::size_t i = 0; i < sim.router_count(); ++i) {
+    counts_after += sim.router(i).stats().counts_sent;
+  }
+  // No drift -> no proactive traffic at all.
+  EXPECT_EQ(counts_after, counts_before);
+}
+
+}  // namespace
+}  // namespace express::test

@@ -1,0 +1,156 @@
+// Unit tests for the FIB: Fig. 5 packed format, fast-path lookup
+// semantics (exact (S,E) match + RPF interface check), and drop
+// accounting.
+#include <gtest/gtest.h>
+
+#include "express/fib.hpp"
+#include "express/interface_set.hpp"
+
+namespace express {
+namespace {
+
+ip::ChannelId channel(std::uint32_t host, std::uint32_t index) {
+  return ip::ChannelId{ip::Address{0x0A000000u + host},
+                       ip::Address::single_source(index)};
+}
+
+TEST(PackedFib, EntryIsTwelveBytes) {
+  // Fig. 5: | source 32 | dest 24 | iif | oifs 32 | = 12 bytes.
+  static_assert(sizeof(PackedFibEntry) == 12);
+  EXPECT_EQ(sizeof(PackedFibEntry), 12u);
+}
+
+TEST(PackedFib, PackUnpackRoundTrip) {
+  FibEntry e;
+  e.iif = 7;
+  e.oifs.set(0);
+  e.oifs.set(13);
+  e.oifs.set(31);
+  const auto ch = channel(1, 0x00ABCDEF);
+  auto packed = pack(ch, e);
+  ASSERT_TRUE(packed.has_value());
+  auto [ch2, e2] = unpack(*packed);
+  EXPECT_EQ(ch2, ch);
+  EXPECT_EQ(e2.iif, e.iif);
+  EXPECT_TRUE(e2.oifs == e.oifs);
+}
+
+TEST(PackedFib, RejectsOutOfBudgetEntries) {
+  FibEntry wide;
+  wide.iif = 0;
+  wide.oifs.set(32);  // beyond the 32-interface hardware budget
+  EXPECT_FALSE(pack(channel(1, 1), wide).has_value());
+
+  FibEntry high_iif;
+  high_iif.iif = 32;
+  EXPECT_FALSE(pack(channel(1, 1), high_iif).has_value());
+
+  FibEntry ok;
+  ok.iif = 31;
+  ok.oifs.set(31);
+  EXPECT_TRUE(pack(channel(1, 1), ok).has_value());
+
+  // Non-single-source destinations cannot be packed (24-bit dest field).
+  FibEntry e;
+  ip::ChannelId bad{ip::Address(10, 0, 0, 1), ip::Address(225, 0, 0, 1)};
+  EXPECT_FALSE(pack(bad, e).has_value());
+}
+
+TEST(Fib, LookupRequiresExactChannelMatch) {
+  // §2: (S,E) and (S',E) are unrelated despite the shared E.
+  Fib fib;
+  FibEntry& e = fib.upsert(channel(1, 5));
+  e.iif = 0;
+  e.oifs.set(1);
+  EXPECT_NE(fib.lookup(channel(1, 5), 0), nullptr);
+  EXPECT_EQ(fib.lookup(channel(2, 5), 0), nullptr);  // same E, other S
+  EXPECT_EQ(fib.stats().no_entry_drops, 1u);
+}
+
+TEST(Fib, RpfCheckDropsWrongInterface) {
+  Fib fib;
+  FibEntry& e = fib.upsert(channel(1, 5));
+  e.iif = 3;
+  e.oifs.set(1);
+  EXPECT_EQ(fib.lookup(channel(1, 5), 0), nullptr);
+  EXPECT_EQ(fib.stats().rpf_drops, 1u);
+  EXPECT_NE(fib.lookup(channel(1, 5), 3), nullptr);
+  EXPECT_EQ(fib.stats().hits, 1u);
+  EXPECT_EQ(fib.stats().lookups, 2u);
+}
+
+TEST(Fib, NoEntryPacketsAreCountedAndDropped) {
+  // §3.4: unlike PIM-SM/DVMRP there is no rendezvous forwarding or
+  // flooding — a miss is just counted.
+  Fib fib;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fib.lookup(channel(9, static_cast<std::uint32_t>(i)), 0), nullptr);
+  }
+  EXPECT_EQ(fib.stats().no_entry_drops, 10u);
+  EXPECT_EQ(fib.stats().hits, 0u);
+}
+
+TEST(Fib, EraseRemovesEntry) {
+  Fib fib;
+  fib.upsert(channel(1, 1));
+  EXPECT_EQ(fib.size(), 1u);
+  fib.erase(channel(1, 1));
+  EXPECT_EQ(fib.size(), 0u);
+  EXPECT_EQ(fib.find(channel(1, 1)), nullptr);
+}
+
+TEST(Fib, PackedBytesMatchesEntryCount) {
+  Fib fib;
+  for (std::uint32_t i = 0; i < 100; ++i) fib.upsert(channel(1, i));
+  EXPECT_EQ(fib.packed_bytes(), 1200u);  // 100 entries * 12 bytes
+}
+
+TEST(InterfaceSet, SetClearTest) {
+  InterfaceSet s;
+  EXPECT_TRUE(s.empty());
+  s.set(0);
+  s.set(63);
+  s.set(64);
+  s.set(200);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_TRUE(s.test(200));
+  EXPECT_FALSE(s.test(1));
+  EXPECT_EQ(s.count(), 4u);
+  s.clear(63);
+  EXPECT_FALSE(s.test(63));
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(InterfaceSet, ForEachAscending) {
+  InterfaceSet s;
+  s.set(5);
+  s.set(70);
+  s.set(2);
+  std::vector<std::uint32_t> seen;
+  s.for_each([&](std::uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{2, 5, 70}));
+}
+
+TEST(InterfaceSet, FitsIn32) {
+  InterfaceSet s;
+  s.set(31);
+  EXPECT_TRUE(s.fits_in_32());
+  EXPECT_EQ(s.low32(), 1u << 31);
+  s.set(32);
+  EXPECT_FALSE(s.fits_in_32());
+}
+
+TEST(InterfaceSet, EqualityIgnoresTrailingZeros) {
+  InterfaceSet a, b;
+  a.set(100);
+  a.clear(100);
+  EXPECT_TRUE(a == b);
+  a.set(3);
+  b.set(3);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace express

@@ -1,0 +1,201 @@
+// Network fabric tests: FIFO links, serialization + propagation timing,
+// per-link accounting, unicast transit, drop counters.
+#include <gtest/gtest.h>
+
+#include "express/testbed.hpp"
+#include "net/network.hpp"
+
+namespace express::net {
+namespace {
+
+/// Records every delivery with its arrival time.
+class Recorder : public Node {
+ public:
+  Recorder(Network& network, NodeId id) : Node(network, id) {}
+  void handle_packet(const Packet& packet, std::uint32_t in_iface) override {
+    arrivals.push_back({packet.sequence, network().now(), in_iface});
+  }
+  struct Arrival {
+    std::uint64_t sequence;
+    sim::Time at;
+    std::uint32_t iface;
+  };
+  std::vector<Arrival> arrivals;
+};
+
+Packet data_packet(ip::Address src, ip::Address dst, std::uint32_t bytes,
+                   std::uint64_t seq) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.protocol = ip::Protocol::kUdp;
+  p.data_bytes = bytes;
+  p.sequence = seq;
+  return p;
+}
+
+TEST(Network, PropagationPlusSerializationDelay) {
+  Topology topo;
+  const NodeId a = topo.add_router();
+  const NodeId b = topo.add_router();
+  // 10 ms delay, 1 Mb/s: a 1000+20 byte packet serializes in 8.16 ms.
+  topo.add_link(a, b, sim::milliseconds(10), 1, 1e6);
+  Network network(std::move(topo));
+  auto& recorder = network.attach<Recorder>(b);
+  network.send_to_neighbor(a, b,
+                           data_packet(ip::Address(1, 1, 1, 1),
+                                       ip::Address(2, 2, 2, 2), 1000, 1));
+  network.run();
+  ASSERT_EQ(recorder.arrivals.size(), 1u);
+  const double expected_s = 0.010 + (1020.0 * 8) / 1e6;
+  EXPECT_NEAR(sim::to_seconds(recorder.arrivals[0].at), expected_s, 1e-6);
+}
+
+TEST(Network, LinksAreFifoPerDirection) {
+  // A big packet followed by a tiny one on the same link: the tiny one
+  // must NOT overtake (it was this bug that once reordered a PIM join
+  // ahead of the data packet it raced).
+  Topology topo;
+  const NodeId a = topo.add_router();
+  const NodeId b = topo.add_router();
+  topo.add_link(a, b, sim::milliseconds(1), 1, 1e6);  // slow link
+  Network network(std::move(topo));
+  auto& recorder = network.attach<Recorder>(b);
+  network.send_to_neighbor(a, b,
+                           data_packet(ip::Address(1, 1, 1, 1),
+                                       ip::Address(2, 2, 2, 2), 50'000, 1));
+  network.send_to_neighbor(a, b,
+                           data_packet(ip::Address(1, 1, 1, 1),
+                                       ip::Address(2, 2, 2, 2), 10, 2));
+  network.run();
+  ASSERT_EQ(recorder.arrivals.size(), 2u);
+  EXPECT_EQ(recorder.arrivals[0].sequence, 1u);
+  EXPECT_EQ(recorder.arrivals[1].sequence, 2u);
+  EXPECT_GT(recorder.arrivals[1].at, recorder.arrivals[0].at);
+}
+
+TEST(Network, OppositeDirectionsDoNotQueueOnEachOther) {
+  Topology topo;
+  const NodeId a = topo.add_router();
+  const NodeId b = topo.add_router();
+  topo.add_link(a, b, sim::milliseconds(1), 1, 1e6);
+  Network network(std::move(topo));
+  auto& ra = network.attach<Recorder>(a);
+  auto& rb = network.attach<Recorder>(b);
+  // Saturate a->b; a single b->a packet must be unaffected (full duplex).
+  for (int i = 0; i < 10; ++i) {
+    network.send_to_neighbor(a, b,
+                             data_packet(ip::Address(1, 1, 1, 1),
+                                         ip::Address(2, 2, 2, 2), 50'000,
+                                         static_cast<std::uint64_t>(i)));
+  }
+  network.send_to_neighbor(b, a,
+                           data_packet(ip::Address(2, 2, 2, 2),
+                                       ip::Address(1, 1, 1, 1), 10, 99));
+  network.run();
+  ASSERT_EQ(ra.arrivals.size(), 1u);
+  // ~1 ms + tiny serialization, far less than the a->b queue drain.
+  EXPECT_LT(sim::to_seconds(ra.arrivals[0].at), 0.002);
+  EXPECT_EQ(rb.arrivals.size(), 10u);
+}
+
+TEST(Network, LinkStatsCountPacketsAndBytes) {
+  Topology topo;
+  const NodeId a = topo.add_router();
+  const NodeId b = topo.add_router();
+  const LinkId l = topo.add_link(a, b);
+  Network network(std::move(topo));
+  network.attach<Recorder>(b);
+  const Packet p = data_packet(ip::Address(1, 1, 1, 1),
+                               ip::Address(2, 2, 2, 2), 100, 1);
+  const std::uint32_t size = p.wire_size();
+  for (int i = 0; i < 5; ++i) {
+    Packet copy = p;
+    network.send_to_neighbor(a, b, std::move(copy));
+  }
+  network.run();
+  EXPECT_EQ(network.link_stats(l).packets, 5u);
+  EXPECT_EQ(network.link_stats(l).bytes, 5u * size);
+  EXPECT_EQ(network.total_link_bytes(), 5u * size);
+  EXPECT_EQ(network.stats().packets_sent, 5u);
+}
+
+TEST(Network, DownLinkDropsAndCounts) {
+  Topology topo;
+  const NodeId a = topo.add_router();
+  const NodeId b = topo.add_router();
+  const LinkId l = topo.add_link(a, b);
+  Network network(std::move(topo));
+  auto& recorder = network.attach<Recorder>(b);
+  network.attach<Recorder>(a);
+  network.set_link_up(l, false);
+  network.send_to_neighbor(a, b,
+                           data_packet(ip::Address(1, 1, 1, 1),
+                                       ip::Address(2, 2, 2, 2), 100, 1));
+  network.run();
+  EXPECT_TRUE(recorder.arrivals.empty());
+  EXPECT_EQ(network.stats().packets_dropped_link_down, 1u);
+}
+
+TEST(Network, UnicastTransitsWithoutTouchingIntermediateNodes) {
+  // a -- m -- b: unicast from a to b's address; m must never see it.
+  Topology topo;
+  const NodeId a = topo.add_router();
+  const NodeId m = topo.add_router();
+  const NodeId b = topo.add_router();
+  const LinkId l1 = topo.add_link(a, m, sim::milliseconds(2));
+  const LinkId l2 = topo.add_link(m, b, sim::milliseconds(3));
+  Network network(std::move(topo));
+  auto& rm = network.attach<Recorder>(m);
+  auto& rb = network.attach<Recorder>(b);
+  Packet p = data_packet(network.topology().node(a).address,
+                         network.topology().node(b).address, 100, 1);
+  network.send_unicast(a, std::move(p));
+  network.run();
+  EXPECT_TRUE(rm.arrivals.empty());
+  ASSERT_EQ(rb.arrivals.size(), 1u);
+  EXPECT_GT(sim::to_seconds(rb.arrivals[0].at), 0.005);  // 2+3 ms + ser
+  // Both links were charged.
+  EXPECT_EQ(network.link_stats(l1).packets, 1u);
+  EXPECT_EQ(network.link_stats(l2).packets, 1u);
+}
+
+TEST(Network, UnicastToUnknownAddressIsCounted) {
+  Topology topo;
+  const NodeId a = topo.add_router();
+  topo.add_link(a, topo.add_router());
+  Network network(std::move(topo));
+  Packet p = data_packet(ip::Address(9, 9, 9, 9), ip::Address(8, 8, 8, 8),
+                         10, 1);
+  network.send_unicast(a, std::move(p));
+  network.run();
+  EXPECT_EQ(network.stats().packets_dropped_no_route, 1u);
+}
+
+TEST(Network, UnicastLoopbackDelivers) {
+  Topology topo;
+  const NodeId a = topo.add_router();
+  topo.add_link(a, topo.add_router());
+  Network network(std::move(topo));
+  auto& ra = network.attach<Recorder>(a);
+  Packet p = data_packet(network.topology().node(a).address,
+                         network.topology().node(a).address, 10, 7);
+  network.send_unicast(a, std::move(p));
+  network.run();
+  ASSERT_EQ(ra.arrivals.size(), 1u);
+  EXPECT_EQ(ra.arrivals[0].sequence, 7u);
+}
+
+TEST(Network, WireSizeIncludesEncapsulation) {
+  Packet inner = data_packet(ip::Address(1, 1, 1, 1),
+                             ip::Address(232, 0, 0, 1), 100, 1);
+  const std::uint32_t inner_size = inner.wire_size();
+  EXPECT_EQ(inner_size, 20u + 100u);
+  Packet outer;
+  outer.protocol = ip::Protocol::kIpInIp;
+  outer.inner = std::make_shared<Packet>(inner);
+  EXPECT_EQ(outer.wire_size(), 20u + inner_size);
+}
+
+}  // namespace
+}  // namespace express::net

@@ -1,0 +1,134 @@
+// Reliable block distribution (src/reliable): NACK counting through the
+// routers, channel-wide and subcast repair, completion invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "helpers.hpp"
+#include "reliable/publisher.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace express::test {
+namespace {
+
+using reliable::Publisher;
+using reliable::PublisherConfig;
+using reliable::RepairReport;
+using reliable::Subscriber;
+using workload::make_kary_tree;
+
+TEST(Reliable, LosslessRunNeedsNoRepairs) {
+  ExpressNetwork sim(make_kary_tree(2, 2));
+  const ip::ChannelId ch = sim.source().allocate_channel();
+  Publisher publisher(sim.source(), ch);
+  std::vector<std::unique_ptr<Subscriber>> subs;
+  for (std::size_t i = 0; i < sim.receiver_count(); ++i) {
+    subs.push_back(std::make_unique<Subscriber>(sim.receiver(i), ch, 10));
+  }
+  sim.run_for(sim::seconds(1));
+  publisher.publish(10);
+  sim.run_for(sim::seconds(1));
+
+  std::optional<RepairReport> report;
+  publisher.run_repair_round([&](RepairReport r) { report = r; });
+  sim.run_for(sim::seconds(10));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->blocks_missing.empty());
+  EXPECT_EQ(report->total_nacks, 0);
+  EXPECT_EQ(publisher.retransmissions(), 0u);
+  for (const auto& s : subs) {
+    EXPECT_TRUE(s->complete());
+  }
+}
+
+TEST(Reliable, LateJoinerIsRepairedByRetransmission) {
+  ExpressNetwork sim(make_kary_tree(2, 2));
+  const ip::ChannelId ch = sim.source().allocate_channel();
+  Publisher publisher(sim.source(), ch);
+  Subscriber early(sim.receiver(0), ch, 8);
+  sim.run_for(sim::seconds(1));
+  publisher.publish(8);
+  sim.run_for(sim::seconds(1));
+
+  // A subscriber appearing after all transmissions missed everything.
+  Subscriber late(sim.receiver(3), ch, 8);
+  sim.run_for(sim::seconds(1));
+  EXPECT_TRUE(early.complete());
+  EXPECT_FALSE(late.complete());
+  EXPECT_EQ(late.missing().size(), 8u);
+
+  std::optional<RepairReport> report;
+  publisher.run_repair_round([&](RepairReport r) { report = r; });
+  sim.run_for(sim::seconds(10));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->blocks_missing.size(), 8u);
+  EXPECT_EQ(report->total_nacks, 8);
+  EXPECT_TRUE(late.complete());
+  EXPECT_TRUE(early.complete());
+}
+
+TEST(Reliable, SubcastRepairSparesCompleteSubtrees) {
+  // Late joiners all sit under the last leaf router; a repair point
+  // there keeps repair traffic off the rest of the tree.
+  ExpressNetwork sim(make_kary_tree(2, 2, {}, 2));  // 8 hosts, 2 per leaf
+  const ip::ChannelId ch = sim.source().allocate_channel();
+  std::vector<std::unique_ptr<Subscriber>> early;
+  for (std::size_t i = 0; i < 6; ++i) {
+    early.push_back(std::make_unique<Subscriber>(sim.receiver(i), ch, 5));
+  }
+  sim.run_for(sim::seconds(1));
+
+  PublisherConfig config;
+  config.repair_point =
+      sim.net().topology().node(sim.router(sim.router_count() - 1).id()).address;
+  Publisher publisher(sim.source(), ch, config);
+  publisher.publish(5);
+  sim.run_for(sim::seconds(1));
+
+  Subscriber late_a(sim.receiver(6), ch, 5);
+  Subscriber late_b(sim.receiver(7), ch, 5);
+  sim.run_for(sim::seconds(1));
+
+  const auto deliveries_before = early[0]->received_count();
+  std::optional<RepairReport> report;
+  publisher.run_repair_round([&](RepairReport r) { report = r; });
+  sim.run_for(sim::seconds(10));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->blocks_missing.size(), 5u);
+  EXPECT_EQ(report->total_nacks, 10);  // two hosts x five blocks
+  EXPECT_TRUE(late_a.complete());
+  EXPECT_TRUE(late_b.complete());
+  // The early subtrees saw none of the repair traffic.
+  EXPECT_EQ(early[0]->received_count(), deliveries_before);
+  std::uint64_t repair_deliveries = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    repair_deliveries += sim.receiver(i).deliveries().size();
+  }
+  EXPECT_EQ(repair_deliveries, 6u * 5u);  // exactly the original blocks
+}
+
+TEST(Reliable, RepairRoundsConvergeAndThenStayQuiet) {
+  ExpressNetwork sim(make_kary_tree(2, 2));
+  const ip::ChannelId ch = sim.source().allocate_channel();
+  Publisher publisher(sim.source(), ch);
+  Subscriber early(sim.receiver(0), ch, 4);
+  sim.run_for(sim::seconds(1));
+  publisher.publish(4);
+  sim.run_for(sim::seconds(1));
+  Subscriber late(sim.receiver(1), ch, 4);
+  sim.run_for(sim::seconds(1));
+
+  std::vector<RepairReport> reports;
+  publisher.run_repair_round([&](RepairReport r) { reports.push_back(r); });
+  sim.run_for(sim::seconds(10));
+  publisher.run_repair_round([&](RepairReport r) { reports.push_back(r); });
+  sim.run_for(sim::seconds(10));
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].blocks_missing.size(), 4u);
+  EXPECT_TRUE(reports[1].blocks_missing.empty());  // converged
+  EXPECT_EQ(publisher.rounds_run(), 2u);
+}
+
+}  // namespace
+}  // namespace express::test

@@ -1,0 +1,190 @@
+// Unit tests for topology bookkeeping and unicast (RPF) routing.
+#include <gtest/gtest.h>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace express::net {
+namespace {
+
+TEST(Topology, NodesGetDistinctAddresses) {
+  Topology t;
+  const NodeId a = t.add_router();
+  const NodeId b = t.add_host();
+  EXPECT_NE(t.node(a).address, t.node(b).address);
+  EXPECT_EQ(t.node(a).kind, NodeKind::kRouter);
+  EXPECT_EQ(t.node(b).kind, NodeKind::kHost);
+}
+
+TEST(Topology, LinkCreatesInterfacesOnBothEnds) {
+  Topology t;
+  const NodeId a = t.add_router();
+  const NodeId b = t.add_router();
+  const LinkId l = t.add_link(a, b);
+  EXPECT_EQ(t.interface_count(a), 1u);
+  EXPECT_EQ(t.interface_count(b), 1u);
+  EXPECT_EQ(t.peer(l, a), b);
+  EXPECT_EQ(t.peer(l, b), a);
+  EXPECT_EQ(t.interface_on(a, l), 0u);
+  EXPECT_EQ(t.interface_to(a, b), 0u);
+  EXPECT_EQ(t.neighbor_via(a, 0), b);
+}
+
+TEST(Topology, InterfaceIndicesAreSequential) {
+  Topology t;
+  const NodeId hub = t.add_router();
+  for (int i = 0; i < 5; ++i) {
+    const NodeId spoke = t.add_router();
+    t.add_link(hub, spoke);
+    EXPECT_EQ(t.interface_to(hub, spoke), static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(Topology, NeighborsSkipDownLinks) {
+  Topology t;
+  const NodeId a = t.add_router();
+  const NodeId b = t.add_router();
+  const NodeId c = t.add_router();
+  const LinkId ab = t.add_link(a, b);
+  t.add_link(a, c);
+  EXPECT_EQ(t.neighbors(a).size(), 2u);
+  t.set_link_up(ab, false);
+  const auto n = t.neighbors(a);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0], c);
+}
+
+TEST(Topology, FindByAddress) {
+  Topology t;
+  const NodeId a = t.add_router();
+  EXPECT_EQ(t.find_by_address(t.node(a).address), a);
+  EXPECT_FALSE(t.find_by_address(ip::Address(1, 2, 3, 4)).has_value());
+}
+
+class LineRouting : public ::testing::Test {
+ protected:
+  //  0 -- 1 -- 2 -- 3 -- 4
+  LineRouting() {
+    for (int i = 0; i < 5; ++i) ids_.push_back(topo_.add_router());
+    for (int i = 0; i < 4; ++i) {
+      links_.push_back(topo_.add_link(ids_[static_cast<std::size_t>(i)],
+                                      ids_[static_cast<std::size_t>(i + 1)],
+                                      sim::milliseconds(i + 1)));
+    }
+  }
+  Topology topo_;
+  std::vector<NodeId> ids_;
+  std::vector<LinkId> links_;
+};
+
+TEST_F(LineRouting, ShortestPathAlongLine) {
+  UnicastRouting r(topo_);
+  EXPECT_EQ(r.next_hop(0, 4), 1u);
+  EXPECT_EQ(r.next_hop(4, 0), 3u);
+  EXPECT_EQ(r.cost(0, 4), 4u);
+  EXPECT_EQ(r.hop_count(0, 4), 4u);
+  const auto p = r.path(0, 4);
+  EXPECT_EQ(p, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(LineRouting, PathDelaySumsLinkDelays) {
+  UnicastRouting r(topo_);
+  // 1 + 2 + 3 + 4 ms.
+  EXPECT_EQ(r.path_delay(0, 4), sim::milliseconds(10));
+}
+
+TEST_F(LineRouting, SelfRouting) {
+  UnicastRouting r(topo_);
+  EXPECT_FALSE(r.next_hop(2, 2).has_value());
+  EXPECT_EQ(r.cost(2, 2), 0u);
+  EXPECT_EQ(r.path(2, 2), std::vector<NodeId>{2});
+}
+
+TEST_F(LineRouting, LinkFailurePartitions) {
+  topo_.set_link_up(links_[1], false);  // cut 1--2
+  UnicastRouting r(topo_);
+  EXPECT_FALSE(r.next_hop(0, 4).has_value());
+  EXPECT_FALSE(r.cost(0, 4).has_value());
+  EXPECT_TRUE(r.path(0, 4).empty());
+  EXPECT_EQ(r.cost(0, 1), 1u);  // near side still works
+  EXPECT_EQ(r.cost(2, 4), 2u);  // far side still works
+}
+
+TEST_F(LineRouting, RecomputeBumpsVersion) {
+  UnicastRouting r(topo_);
+  const auto v = r.version();
+  r.recompute();
+  EXPECT_GT(r.version(), v);
+}
+
+TEST(Routing, PrefersLowerCostOverFewerHops) {
+  // 0 --(cost 10)-- 1 ;  0 -- 2 -- 1 with cost 1 each.
+  Topology t;
+  const NodeId n0 = t.add_router();
+  const NodeId n1 = t.add_router();
+  const NodeId n2 = t.add_router();
+  t.add_link(n0, n1, sim::milliseconds(1), /*cost=*/10);
+  t.add_link(n0, n2, sim::milliseconds(1), 1);
+  t.add_link(n2, n1, sim::milliseconds(1), 1);
+  UnicastRouting r(t);
+  EXPECT_EQ(r.next_hop(n0, n1), n2);
+  EXPECT_EQ(r.cost(n0, n1), 2u);
+  EXPECT_EQ(r.hop_count(n0, n1), 2u);
+}
+
+TEST(Routing, EqualCostTieBreaksDeterministically) {
+  // Diamond: 0 -- {1, 2} -- 3, all cost 1. Both runs must agree.
+  Topology t;
+  const NodeId n0 = t.add_router();
+  const NodeId n1 = t.add_router();
+  const NodeId n2 = t.add_router();
+  const NodeId n3 = t.add_router();
+  t.add_link(n0, n1);
+  t.add_link(n0, n2);
+  t.add_link(n1, n3);
+  t.add_link(n2, n3);
+  UnicastRouting a(t);
+  UnicastRouting b(t);
+  EXPECT_EQ(a.next_hop(n0, n3), b.next_hop(n0, n3));
+  // Tie-break prefers the numerically smaller first hop.
+  EXPECT_EQ(a.next_hop(n0, n3), n1);
+}
+
+TEST(Routing, RpfInterfaceMatchesNextHop) {
+  Topology t;
+  const NodeId r0 = t.add_router();
+  const NodeId r1 = t.add_router();
+  const NodeId src = t.add_host();
+  t.add_link(r0, r1);
+  t.add_link(r1, src);
+  UnicastRouting r(t);
+  EXPECT_EQ(r.rpf_neighbor(r0, src), r1);
+  EXPECT_EQ(r.rpf_interface(r0, src), t.interface_to(r0, r1));
+  EXPECT_EQ(r.rpf_neighbor(r1, src), src);
+}
+
+TEST(Routing, PathIsCostMonotone) {
+  // Property: along any path(), remaining cost strictly decreases.
+  Topology t;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 12; ++i) ids.push_back(t.add_router());
+  // A braided ladder with some chords.
+  for (int i = 0; i + 1 < 12; ++i) {
+    t.add_link(ids[static_cast<std::size_t>(i)],
+               ids[static_cast<std::size_t>(i + 1)]);
+  }
+  t.add_link(ids[0], ids[5], sim::milliseconds(1), 2);
+  t.add_link(ids[3], ids[9], sim::milliseconds(1), 3);
+  UnicastRouting r(t);
+  for (NodeId from = 0; from < 12; ++from) {
+    for (NodeId to = 0; to < 12; ++to) {
+      const auto p = r.path(from, to);
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        EXPECT_GT(r.cost(p[i], to).value(), r.cost(p[i + 1], to).value());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace express::net

@@ -1,0 +1,192 @@
+// Unit tests for the discrete-event scheduler and deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace express::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), Time{0});
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(seconds(3), [&] { order.push_back(3); });
+  s.schedule_at(seconds(1), [&] { order.push_back(1); });
+  s.schedule_at(seconds(2), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), seconds(3));
+}
+
+TEST(Scheduler, EqualTimesFireInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(seconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  Time fired{};
+  s.schedule_at(seconds(10), [&] {
+    s.schedule_after(seconds(5), [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, seconds(15));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(seconds(1), [&] { ++fired; });
+  s.schedule_at(seconds(10), [&] { ++fired; });
+  s.run_until(seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), seconds(5));  // clock advances to the deadline
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, PastSchedulingClampsToNow) {
+  Scheduler s;
+  Time fired = kNever;
+  s.schedule_at(seconds(10), [&] {
+    s.schedule_at(seconds(2), [&] { fired = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_EQ(fired, seconds(10));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  EventHandle h = s.schedule_at(seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.executed_events(), 0u);
+}
+
+TEST(Scheduler, FiredEventNoLongerPending) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(seconds(1), [] {});
+  s.run();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Scheduler, CancelAfterFireIsSafe) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(seconds(1), [] {});
+  s.run();
+  h.cancel();  // no-op
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Scheduler, EmptyHandleIsSafe) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(seconds(1), [&] { ++fired; });
+  s.schedule_at(seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, EventsScheduledDuringRunAreExecuted) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_after(seconds(1), recurse);
+  };
+  s.schedule_at(Time{0}, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), seconds(99));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Time, ConversionsRoundTrip) {
+  EXPECT_EQ(seconds(2), milliseconds(2000));
+  EXPECT_EQ(milliseconds(3), microseconds(3000));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds_f(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(7)), 7.0);
+}
+
+}  // namespace
+}  // namespace express::sim
