@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_curve.dir/bench_ablation_curve.cpp.o"
+  "CMakeFiles/bench_ablation_curve.dir/bench_ablation_curve.cpp.o.d"
+  "bench_ablation_curve"
+  "bench_ablation_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_channel_vs_group.dir/bench_fig1_channel_vs_group.cpp.o"
+  "CMakeFiles/bench_fig1_channel_vs_group.dir/bench_fig1_channel_vs_group.cpp.o.d"
+  "bench_fig1_channel_vs_group"
+  "bench_fig1_channel_vs_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_channel_vs_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_subscription.dir/bench_fig3_subscription.cpp.o"
+  "CMakeFiles/bench_fig3_subscription.dir/bench_fig3_subscription.cpp.o.d"
+  "bench_fig3_subscription"
+  "bench_fig3_subscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_subscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

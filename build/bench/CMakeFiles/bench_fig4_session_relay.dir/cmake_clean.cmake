@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_session_relay.dir/bench_fig4_session_relay.cpp.o"
+  "CMakeFiles/bench_fig4_session_relay.dir/bench_fig4_session_relay.cpp.o.d"
+  "bench_fig4_session_relay"
+  "bench_fig4_session_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_session_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

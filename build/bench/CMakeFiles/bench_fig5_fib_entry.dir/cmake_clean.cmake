@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fib_entry.dir/bench_fig5_fib_entry.cpp.o"
+  "CMakeFiles/bench_fig5_fib_entry.dir/bench_fig5_fib_entry.cpp.o.d"
+  "bench_fig5_fib_entry"
+  "bench_fig5_fib_entry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fib_entry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

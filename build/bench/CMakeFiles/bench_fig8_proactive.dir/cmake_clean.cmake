@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_proactive.dir/bench_fig8_proactive.cpp.o"
+  "CMakeFiles/bench_fig8_proactive.dir/bench_fig8_proactive.cpp.o.d"
+  "bench_fig8_proactive"
+  "bench_fig8_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_mgmt_state.dir/bench_sec52_mgmt_state.cpp.o"
+  "CMakeFiles/bench_sec52_mgmt_state.dir/bench_sec52_mgmt_state.cpp.o.d"
+  "bench_sec52_mgmt_state"
+  "bench_sec52_mgmt_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_mgmt_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_maintenance.dir/bench_sec53_maintenance.cpp.o"
+  "CMakeFiles/bench_sec53_maintenance.dir/bench_sec53_maintenance.cpp.o.d"
+  "bench_sec53_maintenance"
+  "bench_sec53_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

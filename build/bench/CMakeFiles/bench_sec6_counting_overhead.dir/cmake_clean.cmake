@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_counting_overhead.dir/bench_sec6_counting_overhead.cpp.o"
+  "CMakeFiles/bench_sec6_counting_overhead.dir/bench_sec6_counting_overhead.cpp.o.d"
+  "bench_sec6_counting_overhead"
+  "bench_sec6_counting_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_counting_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_tv.dir/internet_tv.cpp.o"
+  "CMakeFiles/internet_tv.dir/internet_tv.cpp.o.d"
+  "internet_tv"
+  "internet_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

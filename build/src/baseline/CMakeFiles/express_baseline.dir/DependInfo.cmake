@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cbt.cpp" "src/baseline/CMakeFiles/express_baseline.dir/cbt.cpp.o" "gcc" "src/baseline/CMakeFiles/express_baseline.dir/cbt.cpp.o.d"
+  "/root/repo/src/baseline/dvmrp.cpp" "src/baseline/CMakeFiles/express_baseline.dir/dvmrp.cpp.o" "gcc" "src/baseline/CMakeFiles/express_baseline.dir/dvmrp.cpp.o.d"
+  "/root/repo/src/baseline/group_host.cpp" "src/baseline/CMakeFiles/express_baseline.dir/group_host.cpp.o" "gcc" "src/baseline/CMakeFiles/express_baseline.dir/group_host.cpp.o.d"
+  "/root/repo/src/baseline/igmp.cpp" "src/baseline/CMakeFiles/express_baseline.dir/igmp.cpp.o" "gcc" "src/baseline/CMakeFiles/express_baseline.dir/igmp.cpp.o.d"
+  "/root/repo/src/baseline/pim_sm.cpp" "src/baseline/CMakeFiles/express_baseline.dir/pim_sm.cpp.o" "gcc" "src/baseline/CMakeFiles/express_baseline.dir/pim_sm.cpp.o.d"
+  "/root/repo/src/baseline/wire.cpp" "src/baseline/CMakeFiles/express_baseline.dir/wire.cpp.o" "gcc" "src/baseline/CMakeFiles/express_baseline.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/express_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/express_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/express_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

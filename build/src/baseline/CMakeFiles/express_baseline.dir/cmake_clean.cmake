@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_baseline.dir/cbt.cpp.o"
+  "CMakeFiles/express_baseline.dir/cbt.cpp.o.d"
+  "CMakeFiles/express_baseline.dir/dvmrp.cpp.o"
+  "CMakeFiles/express_baseline.dir/dvmrp.cpp.o.d"
+  "CMakeFiles/express_baseline.dir/group_host.cpp.o"
+  "CMakeFiles/express_baseline.dir/group_host.cpp.o.d"
+  "CMakeFiles/express_baseline.dir/igmp.cpp.o"
+  "CMakeFiles/express_baseline.dir/igmp.cpp.o.d"
+  "CMakeFiles/express_baseline.dir/pim_sm.cpp.o"
+  "CMakeFiles/express_baseline.dir/pim_sm.cpp.o.d"
+  "CMakeFiles/express_baseline.dir/wire.cpp.o"
+  "CMakeFiles/express_baseline.dir/wire.cpp.o.d"
+  "libexpress_baseline.a"
+  "libexpress_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

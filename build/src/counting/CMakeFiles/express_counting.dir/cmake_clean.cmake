@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_counting.dir/error_curve.cpp.o"
+  "CMakeFiles/express_counting.dir/error_curve.cpp.o.d"
+  "libexpress_counting.a"
+  "libexpress_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

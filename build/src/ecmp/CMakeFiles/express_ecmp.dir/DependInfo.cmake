@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecmp/codec.cpp" "src/ecmp/CMakeFiles/express_ecmp.dir/codec.cpp.o" "gcc" "src/ecmp/CMakeFiles/express_ecmp.dir/codec.cpp.o.d"
+  "/root/repo/src/ecmp/session.cpp" "src/ecmp/CMakeFiles/express_ecmp.dir/session.cpp.o" "gcc" "src/ecmp/CMakeFiles/express_ecmp.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/express_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/express_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/express_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

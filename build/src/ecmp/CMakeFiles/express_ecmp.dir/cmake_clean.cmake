@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_ecmp.dir/codec.cpp.o"
+  "CMakeFiles/express_ecmp.dir/codec.cpp.o.d"
+  "CMakeFiles/express_ecmp.dir/session.cpp.o"
+  "CMakeFiles/express_ecmp.dir/session.cpp.o.d"
+  "libexpress_ecmp.a"
+  "libexpress_ecmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_ecmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for express_ecmp.
+# This may be replaced when dependencies are built.

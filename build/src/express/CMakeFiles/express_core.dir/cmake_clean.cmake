@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_core.dir/fib.cpp.o"
+  "CMakeFiles/express_core.dir/fib.cpp.o.d"
+  "CMakeFiles/express_core.dir/host.cpp.o"
+  "CMakeFiles/express_core.dir/host.cpp.o.d"
+  "CMakeFiles/express_core.dir/router.cpp.o"
+  "CMakeFiles/express_core.dir/router.cpp.o.d"
+  "libexpress_core.a"
+  "libexpress_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_ip.dir/address.cpp.o"
+  "CMakeFiles/express_ip.dir/address.cpp.o.d"
+  "CMakeFiles/express_ip.dir/header.cpp.o"
+  "CMakeFiles/express_ip.dir/header.cpp.o.d"
+  "libexpress_ip.a"
+  "libexpress_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

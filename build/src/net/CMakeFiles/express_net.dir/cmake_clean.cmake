@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_net.dir/network.cpp.o"
+  "CMakeFiles/express_net.dir/network.cpp.o.d"
+  "CMakeFiles/express_net.dir/node.cpp.o"
+  "CMakeFiles/express_net.dir/node.cpp.o.d"
+  "CMakeFiles/express_net.dir/routing.cpp.o"
+  "CMakeFiles/express_net.dir/routing.cpp.o.d"
+  "CMakeFiles/express_net.dir/topology.cpp.o"
+  "CMakeFiles/express_net.dir/topology.cpp.o.d"
+  "libexpress_net.a"
+  "libexpress_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexpress_net.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_relay.dir/monitor.cpp.o"
+  "CMakeFiles/express_relay.dir/monitor.cpp.o.d"
+  "CMakeFiles/express_relay.dir/participant.cpp.o"
+  "CMakeFiles/express_relay.dir/participant.cpp.o.d"
+  "CMakeFiles/express_relay.dir/session_relay.cpp.o"
+  "CMakeFiles/express_relay.dir/session_relay.cpp.o.d"
+  "CMakeFiles/express_relay.dir/standby.cpp.o"
+  "CMakeFiles/express_relay.dir/standby.cpp.o.d"
+  "CMakeFiles/express_relay.dir/wire.cpp.o"
+  "CMakeFiles/express_relay.dir/wire.cpp.o.d"
+  "libexpress_relay.a"
+  "libexpress_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

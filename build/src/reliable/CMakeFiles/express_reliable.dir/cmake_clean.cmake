@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_reliable.dir/publisher.cpp.o"
+  "CMakeFiles/express_reliable.dir/publisher.cpp.o.d"
+  "libexpress_reliable.a"
+  "libexpress_reliable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_reliable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for express_reliable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_sim.dir/random.cpp.o"
+  "CMakeFiles/express_sim.dir/random.cpp.o.d"
+  "CMakeFiles/express_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/express_sim.dir/scheduler.cpp.o.d"
+  "libexpress_sim.a"
+  "libexpress_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_workload.dir/churn.cpp.o"
+  "CMakeFiles/express_workload.dir/churn.cpp.o.d"
+  "CMakeFiles/express_workload.dir/topo_gen.cpp.o"
+  "CMakeFiles/express_workload.dir/topo_gen.cpp.o.d"
+  "CMakeFiles/express_workload.dir/zipf.cpp.o"
+  "CMakeFiles/express_workload.dir/zipf.cpp.o.d"
+  "libexpress_workload.a"
+  "libexpress_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_property.dir/test_baseline_property.cpp.o"
+  "CMakeFiles/test_baseline_property.dir/test_baseline_property.cpp.o.d"
+  "test_baseline_property"
+  "test_baseline_property.pdb"
+  "test_baseline_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

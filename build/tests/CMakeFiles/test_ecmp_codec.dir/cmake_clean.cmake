@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecmp_codec.dir/test_ecmp_codec.cpp.o"
+  "CMakeFiles/test_ecmp_codec.dir/test_ecmp_codec.cpp.o.d"
+  "test_ecmp_codec"
+  "test_ecmp_codec.pdb"
+  "test_ecmp_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecmp_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

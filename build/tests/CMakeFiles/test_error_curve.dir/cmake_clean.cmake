@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_curve.dir/test_error_curve.cpp.o"
+  "CMakeFiles/test_error_curve.dir/test_error_curve.cpp.o.d"
+  "test_error_curve"
+  "test_error_curve.pdb"
+  "test_error_curve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

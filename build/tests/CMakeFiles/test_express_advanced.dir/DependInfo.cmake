@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_express_advanced.cpp" "tests/CMakeFiles/test_express_advanced.dir/test_express_advanced.cpp.o" "gcc" "tests/CMakeFiles/test_express_advanced.dir/test_express_advanced.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/express/CMakeFiles/express_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecmp/CMakeFiles/express_ecmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/counting/CMakeFiles/express_counting.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/express_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/express_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/express_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliable/CMakeFiles/express_reliable.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/express_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/express_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/express_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

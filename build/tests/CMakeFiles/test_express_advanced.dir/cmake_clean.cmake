@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_express_advanced.dir/test_express_advanced.cpp.o"
+  "CMakeFiles/test_express_advanced.dir/test_express_advanced.cpp.o.d"
+  "test_express_advanced"
+  "test_express_advanced.pdb"
+  "test_express_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_express_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

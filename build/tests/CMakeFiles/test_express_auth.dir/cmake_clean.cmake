@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_express_auth.dir/test_express_auth.cpp.o"
+  "CMakeFiles/test_express_auth.dir/test_express_auth.cpp.o.d"
+  "test_express_auth"
+  "test_express_auth.pdb"
+  "test_express_auth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_express_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

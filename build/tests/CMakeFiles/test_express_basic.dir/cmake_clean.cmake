@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_express_basic.dir/test_express_basic.cpp.o"
+  "CMakeFiles/test_express_basic.dir/test_express_basic.cpp.o.d"
+  "test_express_basic"
+  "test_express_basic.pdb"
+  "test_express_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_express_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

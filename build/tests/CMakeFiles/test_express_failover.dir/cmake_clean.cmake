@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_express_failover.dir/test_express_failover.cpp.o"
+  "CMakeFiles/test_express_failover.dir/test_express_failover.cpp.o.d"
+  "test_express_failover"
+  "test_express_failover.pdb"
+  "test_express_failover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_express_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_express_proactive.dir/test_express_proactive.cpp.o"
+  "CMakeFiles/test_express_proactive.dir/test_express_proactive.cpp.o.d"
+  "test_express_proactive"
+  "test_express_proactive.pdb"
+  "test_express_proactive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_express_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

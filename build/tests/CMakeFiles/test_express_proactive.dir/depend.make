@@ -1,0 +1,2 @@
+# Empty dependencies file for test_express_proactive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_express_udp.dir/test_express_udp.cpp.o"
+  "CMakeFiles/test_express_udp.dir/test_express_udp.cpp.o.d"
+  "test_express_udp"
+  "test_express_udp.pdb"
+  "test_express_udp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_express_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fib.dir/test_fib.cpp.o"
+  "CMakeFiles/test_fib.dir/test_fib.cpp.o.d"
+  "test_fib"
+  "test_fib.pdb"
+  "test_fib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

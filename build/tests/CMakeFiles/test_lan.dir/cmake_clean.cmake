@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lan.dir/test_lan.cpp.o"
+  "CMakeFiles/test_lan.dir/test_lan.cpp.o.d"
+  "test_lan"
+  "test_lan.pdb"
+  "test_lan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relay.dir/test_relay.cpp.o"
+  "CMakeFiles/test_relay.dir/test_relay.cpp.o.d"
+  "test_relay"
+  "test_relay.pdb"
+  "test_relay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

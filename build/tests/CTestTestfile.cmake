@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_ip[1]_include.cmake")
+include("/root/repo/build/tests/test_ecmp_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_fib[1]_include.cmake")
+include("/root/repo/build/tests/test_error_curve[1]_include.cmake")
+include("/root/repo/build/tests/test_express_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_express_auth[1]_include.cmake")
+include("/root/repo/build/tests/test_express_failover[1]_include.cmake")
+include("/root/repo/build/tests/test_express_udp[1]_include.cmake")
+include("/root/repo/build/tests/test_express_proactive[1]_include.cmake")
+include("/root/repo/build/tests/test_relay[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_igmp[1]_include.cmake")
+include("/root/repo/build/tests/test_costmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_express_advanced[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_lan[1]_include.cmake")
+include("/root/repo/build/tests/test_reliable[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_property[1]_include.cmake")
