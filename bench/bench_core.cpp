@@ -1,0 +1,369 @@
+// CORE — simulator-substrate performance harness.
+//
+// Every experiment in this repo executes on the same two hot paths: the
+// discrete-event scheduler and per-hop packet replication. This bench
+// pins their performance trajectory across PRs with three measurements:
+//
+//   1. scheduler  — events/sec through schedule/cancel/dispatch rounds,
+//                   run twice: once on sim::Scheduler and once on the
+//                   frozen seed replica in legacy_core.hpp, so the
+//                   speedup is computed live on the same machine.
+//   2. fanout     — ns per link transmission through the full network
+//                   stack on a 256-way star (the paper's worst-case
+//                   replication shape).
+//   3. churn      — end-to-end wall time of a 10k-subscriber join/leave
+//                   churn scenario with periodic channel data, the
+//                   shape every §5/§6 experiment takes. Deterministic
+//                   packet/byte counters are reported so substrate
+//                   rewrites can prove they preserved behavior.
+//
+// Output: a human table on stdout and machine-readable JSON (default
+// BENCH_core.json in the working directory; see --out). Run from the
+// repo root so the trajectory file lands where EXPERIMENTS.md expects:
+//
+//   ./build/bench/bench_core --out BENCH_core.json          # full
+//   ./build/bench/bench_core --quick --out /dev/null        # CI smoke
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "express/testbed.hpp"
+#include "legacy_core.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "workload/churn.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace {
+
+using namespace express;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_s(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Seed-commit baselines for the sections whose "before" implementation
+// cannot live in this binary (the fanout and churn paths run through
+// the real Network, whose substrate the zero-alloc PR replaced).
+// Measured at seed commit fd013b2 on the reference dev container with
+// the exact scenario parameters below; regenerate by checking out the
+// seed and running this bench (see EXPERIMENTS.md §CORE). Zero means
+// "not captured" and suppresses the comparison in the JSON.
+constexpr double kSeedFanoutNsPerHop = 241.0;
+constexpr double kSeedChurnWallS = 2.042;
+constexpr double kSeedSchedulerEventsPerSec = 6780934;
+
+// ---------------------------------------------------------------------
+// 1. Scheduler microbench
+// ---------------------------------------------------------------------
+//
+// Rounds of batched schedule -> cancel-a-slice -> drain. The closure is
+// transmit-shaped — it captures a 64-byte packet-sized blob plus a
+// counter reference, like the link-delivery events that dominate every
+// run — so each scheduler pays its real per-event cost (the seed design
+// heap-allocates such a closure at schedule time and clones it again in
+// the priority_queue's copy-on-pop). The cancel mix (1 in 8 events is a
+// decoy that never fires) exercises the handle machinery the protocol
+// timers lean on. Identical code runs against both schedulers; only the
+// types differ.
+
+struct SchedulerScore {
+  double events_per_sec = 0;
+  std::uint64_t fired = 0;
+};
+
+using PacketBlob = std::array<std::uint8_t, 64>;
+
+SchedulerScore measure_scheduler_new(std::uint64_t target_events) {
+  sim::Scheduler s;
+  std::uint64_t fired = 0;
+  PacketBlob blob{};
+  blob[0] = 1;
+  std::vector<sim::EventHandle> decoys;
+  const std::uint64_t batch = 4096;
+  std::int64_t t = 1;
+  const auto t0 = Clock::now();
+  for (std::uint64_t done = 0; done < target_events; done += batch) {
+    decoys.clear();
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const sim::Time when{t + static_cast<std::int64_t>(i)};
+      s.schedule_at(when, [&fired, blob] { fired += blob[0]; });
+      if ((i & 7) == 0) {
+        decoys.push_back(s.schedule_at(when, [&fired, blob] { fired += blob[0]; }));
+      }
+    }
+    for (auto& h : decoys) h.cancel();
+    s.run();
+    t += static_cast<std::int64_t>(batch);
+  }
+  const double secs = elapsed_s(t0);
+  return {static_cast<double>(fired) / secs, fired};
+}
+
+SchedulerScore measure_scheduler_legacy(std::uint64_t target_events) {
+  bench::legacy::Scheduler s;
+  std::uint64_t fired = 0;
+  PacketBlob blob{};
+  blob[0] = 1;
+  std::vector<bench::legacy::EventHandle> decoys;
+  const std::uint64_t batch = 4096;
+  std::int64_t t = 1;
+  const auto t0 = Clock::now();
+  for (std::uint64_t done = 0; done < target_events; done += batch) {
+    decoys.clear();
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const sim::Time when{t + static_cast<std::int64_t>(i)};
+      s.schedule_at(when, [&fired, blob] { fired += blob[0]; });
+      if ((i & 7) == 0) {
+        decoys.push_back(s.schedule_at(when, [&fired, blob] { fired += blob[0]; }));
+      }
+    }
+    for (auto& h : decoys) h.cancel();
+    s.run();
+    t += static_cast<std::int64_t>(batch);
+  }
+  const double secs = elapsed_s(t0);
+  return {static_cast<double>(fired) / secs, fired};
+}
+
+// ---------------------------------------------------------------------
+// 2. Packet fan-out through the real stack
+// ---------------------------------------------------------------------
+
+struct FanoutScore {
+  double ns_per_hop = 0;
+  std::uint64_t hops = 0;
+  std::uint64_t packets = 0;
+};
+
+FanoutScore measure_fanout(std::uint64_t sends) {
+  Testbed bed(workload::make_star(256, 1));
+  const ip::ChannelId channel = bed.source().allocate_channel();
+  for (std::size_t i = 0; i < bed.receiver_count(); ++i) {
+    bed.receiver(i).new_subscription(channel);
+  }
+  bed.run_for(sim::seconds(2));  // settle joins
+
+  const std::uint64_t hops_before = bed.net().stats().packets_sent;
+  const std::vector<std::uint8_t> header(200, 0xAB);
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < sends; ++i) {
+    bed.source().send(channel, 1000, i, header);
+    bed.run_for(sim::milliseconds(10));
+  }
+  const double secs = elapsed_s(t0);
+  const std::uint64_t hops = bed.net().stats().packets_sent - hops_before;
+  return {secs / static_cast<double>(hops) * 1e9, hops, sends};
+}
+
+// ---------------------------------------------------------------------
+// 3. 10k-subscriber churn scenario, end to end
+// ---------------------------------------------------------------------
+
+struct ChurnScore {
+  double wall_s = 0;
+  double sim_events_per_sec = 0;
+  std::uint64_t sim_events = 0;
+  std::uint64_t subscribers = 0;
+  // Deterministic outcome counters: any substrate rewrite must
+  // reproduce these exactly for a given seed (see test_determinism).
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t total_link_bytes = 0;
+  std::uint64_t data_delivered = 0;
+};
+
+ChurnScore measure_churn(bool quick) {
+  // 4-ary router tree: depth 5 => 1024 leaf routers x 10 hosts = 10240
+  // receivers over 1365 routers (quick: depth 3 => 640 receivers).
+  const std::uint32_t depth = quick ? 3 : 5;
+  Testbed bed(workload::make_kary_tree(4, depth, {}, 10));
+  const ip::ChannelId channel = bed.source().allocate_channel();
+  const std::uint32_t receivers =
+      static_cast<std::uint32_t>(bed.receiver_count());
+
+  sim::Rng rng(42);
+  const sim::Duration horizon = sim::seconds(30);
+  const auto events = workload::poisson_churn(
+      receivers, horizon, sim::seconds(15), sim::seconds(10), rng);
+
+  const auto t0 = Clock::now();
+  auto& sched = bed.net().scheduler();
+  for (const auto& ev : events) {
+    sched.schedule_at(ev.at, [&bed, &channel, ev] {
+      if (ev.join) {
+        bed.receiver(ev.host_index).new_subscription(channel);
+      } else {
+        bed.receiver(ev.host_index).delete_subscription(channel);
+      }
+    });
+  }
+  const std::vector<std::uint8_t> header(64, 0xCD);
+  std::uint64_t seq = 0;
+  for (sim::Time at = sim::milliseconds(100); at < horizon;
+       at += sim::milliseconds(100)) {
+    sched.schedule_at(at, [&bed, &channel, &header, s = seq++] {
+      bed.source().send(channel, 1200, s, header);
+    });
+  }
+  bed.net().run();
+  const double secs = elapsed_s(t0);
+
+  ChurnScore score;
+  score.wall_s = secs;
+  score.sim_events = sched.executed_events();
+  score.sim_events_per_sec = static_cast<double>(score.sim_events) / secs;
+  score.subscribers = receivers;
+  score.packets_sent = bed.net().stats().packets_sent;
+  score.bytes_sent = bed.net().stats().bytes_sent;
+  score.total_link_bytes = bed.net().total_link_bytes();
+  for (std::size_t i = 0; i < bed.receiver_count(); ++i) {
+    score.data_delivered += bed.receiver(i).stats().data_received;
+  }
+  return score;
+}
+
+// ---------------------------------------------------------------------
+// JSON output
+// ---------------------------------------------------------------------
+
+void write_json(const std::string& path, bool quick, const SchedulerScore& nw,
+                const SchedulerScore& old, const FanoutScore& fan,
+                const ChurnScore& churn) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_core: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_core\",\n");
+  std::fprintf(f, "  \"version\": 1,\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"scheduler\": {\n");
+  std::fprintf(f, "    \"events_per_sec\": %.0f,\n", nw.events_per_sec);
+  std::fprintf(f, "    \"legacy_events_per_sec\": %.0f,\n", old.events_per_sec);
+  std::fprintf(f, "    \"speedup_vs_legacy\": %.2f,\n",
+               nw.events_per_sec / old.events_per_sec);
+  std::fprintf(f, "    \"events\": %llu\n",
+               static_cast<unsigned long long>(nw.fired));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fanout\": {\n");
+  std::fprintf(f, "    \"ns_per_hop\": %.1f,\n", fan.ns_per_hop);
+  std::fprintf(f, "    \"hops\": %llu,\n",
+               static_cast<unsigned long long>(fan.hops));
+  std::fprintf(f, "    \"sends\": %llu%s\n",
+               static_cast<unsigned long long>(fan.packets),
+               kSeedFanoutNsPerHop > 0 ? "," : "");
+  if (kSeedFanoutNsPerHop > 0) {
+    std::fprintf(f, "    \"seed_baseline_ns_per_hop\": %.1f,\n",
+                 kSeedFanoutNsPerHop);
+    std::fprintf(f, "    \"speedup_vs_seed\": %.2f\n",
+                 kSeedFanoutNsPerHop / fan.ns_per_hop);
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"churn\": {\n");
+  std::fprintf(f, "    \"subscribers\": %llu,\n",
+               static_cast<unsigned long long>(churn.subscribers));
+  std::fprintf(f, "    \"wall_s\": %.3f,\n", churn.wall_s);
+  std::fprintf(f, "    \"sim_events\": %llu,\n",
+               static_cast<unsigned long long>(churn.sim_events));
+  std::fprintf(f, "    \"sim_events_per_sec\": %.0f,\n",
+               churn.sim_events_per_sec);
+  std::fprintf(f, "    \"packets_sent\": %llu,\n",
+               static_cast<unsigned long long>(churn.packets_sent));
+  std::fprintf(f, "    \"bytes_sent\": %llu,\n",
+               static_cast<unsigned long long>(churn.bytes_sent));
+  std::fprintf(f, "    \"total_link_bytes\": %llu,\n",
+               static_cast<unsigned long long>(churn.total_link_bytes));
+  std::fprintf(f, "    \"data_delivered\": %llu%s\n",
+               static_cast<unsigned long long>(churn.data_delivered),
+               (!quick && kSeedChurnWallS > 0) ? "," : "");
+  if (!quick && kSeedChurnWallS > 0) {
+    std::fprintf(f, "    \"seed_baseline_wall_s\": %.3f,\n", kSeedChurnWallS);
+    std::fprintf(f, "    \"speedup_vs_seed\": %.2f\n",
+                 kSeedChurnWallS / churn.wall_s);
+  }
+  std::fprintf(f, "  }%s\n", kSeedSchedulerEventsPerSec > 0 ? "," : "");
+  if (kSeedSchedulerEventsPerSec > 0) {
+    std::fprintf(f,
+                 "  \"seed_baseline_note\": \"seed numbers measured at the "
+                 "pre-rewrite commit with identical scenario parameters; the "
+                 "live legacy_* numbers re-measure the seed scheduler "
+                 "replica in this binary\"\n");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace express::bench;
+  bool quick = false;
+  std::string out = "BENCH_core.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --out requires a path\n");
+        return 2;
+      }
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\nusage: %s [--quick] [--out <path>]\n",
+                   argv[i], argv[0]);
+      return 2;
+    }
+  }
+
+  banner("CORE", "simulator substrate: scheduler, fan-out, churn");
+
+  const std::uint64_t sched_events = quick ? 200'000 : 2'000'000;
+  measure_scheduler_new(sched_events / 8);     // warm up caches/allocator
+  measure_scheduler_legacy(sched_events / 8);
+  // Interleave A/B rounds and keep each side's best, so a noisy
+  // neighbor or a thermal dip cannot skew the ratio one way.
+  SchedulerScore nw, old;
+  for (int round = 0; round < (quick ? 1 : 3); ++round) {
+    const SchedulerScore a = measure_scheduler_new(sched_events);
+    const SchedulerScore b = measure_scheduler_legacy(sched_events);
+    if (a.events_per_sec > nw.events_per_sec) nw = a;
+    if (b.events_per_sec > old.events_per_sec) old = b;
+  }
+
+  const FanoutScore fan = measure_fanout(quick ? 200 : 2000);
+  const ChurnScore churn = measure_churn(quick);
+
+  Table table({"section", "metric", "value"});
+  table.row({"scheduler", "events/sec", fmt(nw.events_per_sec / 1e6, 2) + "M"});
+  table.row({"scheduler", "legacy events/sec",
+             fmt(old.events_per_sec / 1e6, 2) + "M"});
+  table.row({"scheduler", "speedup vs legacy",
+             fmt(nw.events_per_sec / old.events_per_sec, 2) + "x"});
+  table.row({"fanout", "ns/hop", fmt(fan.ns_per_hop, 1)});
+  table.row({"fanout", "hops", fmt_int(fan.hops)});
+  table.row({"churn", "subscribers", fmt_int(churn.subscribers)});
+  table.row({"churn", "wall s", fmt(churn.wall_s, 3)});
+  table.row({"churn", "sim events", fmt_int(churn.sim_events)});
+  table.row({"churn", "events/sec", fmt(churn.sim_events_per_sec / 1e6, 2) + "M"});
+  table.row({"churn", "packets_sent", fmt_int(churn.packets_sent)});
+  table.row({"churn", "bytes_sent", fmt_int(churn.bytes_sent)});
+  table.row({"churn", "data_delivered", fmt_int(churn.data_delivered)});
+  if (kSeedChurnWallS > 0 && !quick) {
+    table.row({"churn", "seed wall s", fmt(kSeedChurnWallS, 3)});
+    table.row({"churn", "speedup vs seed", fmt(kSeedChurnWallS / churn.wall_s, 2) + "x"});
+  }
+  table.print();
+  note("scheduler speedup is measured live against the seed replica;");
+  note("fanout/churn seed baselines were captured at the seed commit.");
+
+  write_json(out, quick, nw, old, fan, churn);
+  return 0;
+}

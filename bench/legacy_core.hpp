@@ -1,0 +1,97 @@
+// Frozen replica of the seed discrete-event scheduler (pre zero-alloc
+// rewrite), kept verbatim so bench_core can measure the slab scheduler
+// against the exact implementation it replaced, on the same machine, in
+// the same binary. Do not "improve" this file: its value is that it
+// stays the historical baseline.
+//
+// Seed design being preserved here:
+//   * one std::make_shared<bool> liveness cell per event,
+//   * a std::function<void()> closure (heap-allocated past the SBO),
+//   * std::priority_queue storage with a full Entry *copy* on every pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace express::bench::legacy {
+
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] sim::Time now() const { return now_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  EventHandle schedule_at(sim::Time when, Action action) {
+    if (when < now_) when = now_;
+    auto alive = std::make_shared<bool>(true);
+    queue_.push(Entry{when, next_seq_++, alive, std::move(action)});
+    return EventHandle{std::move(alive)};
+  }
+
+  EventHandle schedule_after(sim::Duration delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  std::uint64_t run_until(sim::Time deadline) {
+    std::uint64_t ran = 0;
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+      Entry e = queue_.top();  // seed behavior: copy out, closure and all
+      queue_.pop();
+      if (!*e.alive) continue;
+      *e.alive = false;
+      now_ = e.when;
+      e.action();
+      ++executed_;
+      ++ran;
+    }
+    if (deadline != sim::kNever && now_ < deadline) now_ = deadline;
+    return ran;
+  }
+
+  std::uint64_t run() { return run_until(sim::kNever); }
+
+ private:
+  struct Entry {
+    sim::Time when{};
+    std::uint64_t seq = 0;
+    std::shared_ptr<bool> alive;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  sim::Time now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace express::bench::legacy

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the simulator core.
+#
+# Builds the whole tree with AddressSanitizer + UndefinedBehaviorSanitizer,
+# runs the full test suite, then a quick bench_core pass — so the slab
+# scheduler's pointer recycling, the InlineFunction placement-new
+# machinery, and the COW payload sharing are all exercised under the
+# sanitizers, not just under the unit-test assertions.
+#
+# Usage: scripts/check.sh [build-dir]      (default: build-asan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-asan}"
+
+echo "== configure ($build_dir, ASan+UBSan) =="
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+echo "== build =="
+cmake --build "$build_dir" -j "$(nproc)"
+
+echo "== tests (ctest) =="
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "== bench_core --quick (sanitized) =="
+# Throughput numbers are meaningless under ASan; this run is purely a
+# memory-correctness sweep of the slab/COW hot paths at scale. Write the
+# JSON somewhere disposable so the committed BENCH_core.json (produced
+# by a normal optimized build) is not clobbered with sanitized numbers.
+"$build_dir/bench/bench_core" --quick --out "$build_dir/BENCH_core.quick.json"
+
+echo "== check.sh: all green =="

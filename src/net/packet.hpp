@@ -4,16 +4,77 @@
 // a byte payload (control protocols encode/decode real wire bytes), and
 // bookkeeping used by tests and the bandwidth accounting. Subcast's
 // IP-in-IP encapsulation is modelled with a shared inner packet.
+//
+// Payload bytes are copy-on-write: replicating a packet N ways (a
+// router fan-out, a LAN hub repeat, hop-by-hop unicast) shares one
+// immutable buffer instead of reallocating per copy — the per-packet
+// software overhead the paper's §5 cost analysis warns against. Writers
+// go through mutable_payload(), which clones only when the buffer is
+// actually shared.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "ip/address.hpp"
 #include "ip/header.hpp"
 
 namespace express::net {
+
+/// Shared immutable byte buffer with copy-on-write mutation.
+///
+/// Only const views escape (span / const vector&), so every copy of a
+/// Packet may alias the same bytes; mutate() detaches a private copy
+/// first when the buffer is shared.
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Implicit: protocols keep writing `packet.payload = encode(msg)`.
+  Payload(std::vector<std::uint8_t> bytes)  // NOLINT(google-explicit-constructor)
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<std::vector<std::uint8_t>>(std::move(bytes))) {}
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    static const std::vector<std::uint8_t> kEmpty;
+    return data_ ? *data_ : kEmpty;
+  }
+
+  // The codecs take std::span, tests copy into vectors: both read paths
+  // stay source-compatible with the old plain-vector field.
+  operator const std::vector<std::uint8_t>&() const { return bytes(); }
+  operator std::span<const std::uint8_t>() const { return bytes(); }
+
+  [[nodiscard]] std::size_t size() const { return data_ ? data_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Copy-on-write access: returns a uniquely-owned mutable buffer,
+  /// cloning the bytes first if any other Packet shares them.
+  [[nodiscard]] std::vector<std::uint8_t>& mutate() {
+    if (!data_) {
+      data_ = std::make_shared<std::vector<std::uint8_t>>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<std::vector<std::uint8_t>>(*data_);
+    }
+    return *data_;
+  }
+
+  /// True when both payloads alias the same underlying buffer (used by
+  /// tests to prove replication shares rather than copies).
+  [[nodiscard]] bool shares_buffer_with(const Payload& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
+ private:
+  // Logically shared_ptr<const vector>: nothing hands out mutable
+  // access to a shared buffer. Stored non-const so mutate() can edit a
+  // uniquely-owned buffer without cloning.
+  std::shared_ptr<std::vector<std::uint8_t>> data_;
+};
 
 struct Packet {
   ip::Address src;
@@ -23,7 +84,9 @@ struct Packet {
 
   /// Control payload wire bytes (ECMP, IGMP, PIM messages...). Data
   /// packets may leave this empty and set `data_bytes` instead.
-  std::vector<std::uint8_t> payload;
+  /// Shared copy-on-write between packet copies; write access goes
+  /// through mutable_payload().
+  Payload payload;
 
   /// Application data size in bytes, for packets whose content the
   /// simulation does not need byte-for-byte (e.g. a video frame).
@@ -35,6 +98,13 @@ struct Packet {
 
   /// Encapsulated packet for IP-in-IP subcast (protocol == kIpInIp).
   std::shared_ptr<const Packet> inner;
+
+  /// Write access to the payload bytes; clones them first if shared
+  /// with another packet, so siblings of a replication never alias a
+  /// writer's edits.
+  [[nodiscard]] std::vector<std::uint8_t>& mutable_payload() {
+    return payload.mutate();
+  }
 
   /// Total on-wire size: IP header + control bytes + data bytes
   /// (+ the encapsulated packet when present).

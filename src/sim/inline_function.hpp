@@ -1,0 +1,134 @@
+// A move-only callable with inline storage, for the scheduler hot path.
+//
+// std::function heap-allocates any closure past its ~16-byte SBO — and
+// the scheduler's closures routinely carry a Packet plus a node id, so
+// under std::function every scheduled link transmission paid a heap
+// round trip (twice, with the priority_queue's copy-on-pop). This type
+// gives the event loop a fixed 120-byte inline buffer: every closure
+// the simulator schedules is stored in place inside the slab's event
+// record and never touches the allocator.
+//
+// Oversized or throwing-move callables still work — they fall back to a
+// heap box — but each boxed construction bumps a global counter so the
+// allocation-free property of the dispatch path is testable (see
+// test_sim_alloc.cpp) instead of aspirational.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace express::sim {
+
+class InlineFunction {
+ public:
+  /// Inline closure capacity. Sized for the largest hot-path closure:
+  /// a Packet (two shared payload/inner pointers, addressing, tags)
+  /// plus a node id, interface index, and the captured `this`.
+  static constexpr std::size_t kInlineBytes = 120;
+
+  InlineFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kBoxedOps<Fn>;
+      boxed_constructions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroy the held callable (releasing captured resources now).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  /// Number of closures (process-wide) that overflowed the inline
+  /// buffer and were boxed on the heap. The zero-allocation test pins
+  /// this at zero across the simulator's steady-state dispatch loop.
+  [[nodiscard]] static std::uint64_t boxed_count() {
+    return boxed_constructions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* dst, void* src) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kBoxedOps = {
+      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](void* dst, void* src) {
+        Fn** from = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (dst) Fn*(*from);
+        *from = nullptr;
+      },
+      [](void* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+  };
+
+  void move_from(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  static inline std::atomic<std::uint64_t> boxed_constructions_{0};
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace express::sim

@@ -1,24 +1,95 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 namespace express::sim {
 
+namespace {
+constexpr std::size_t kArity = 4;  // 4-ary heap: shallower, cache-friendlier
+}  // namespace
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  // HeapEntry packs the slot into 24 bits: 16M *concurrent* events.
+  assert(slab_.size() < (1U << HeapEntry::kSlotBits));
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Scheduler::heap_push(HeapEntry entry) {
+  std::size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Scheduler::heap_pop_top() {
+  const HeapEntry displaced = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t end_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < end_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], displaced)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = displaced;
+}
+
 EventHandle Scheduler::schedule_at(Time when, Action action) {
-  if (when < now_) when = now_;
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Entry{when, next_seq_++, alive, std::move(action)});
-  return EventHandle{std::move(alive)};
+  if (when < now_) {
+    when = now_;
+    ++clamped_;
+  }
+  const std::uint32_t slot = acquire_slot();
+  EventRecord& rec = slab_[slot];
+  rec.when = when;
+  rec.live = true;
+  rec.action = std::move(action);
+  heap_push(HeapEntry{when, next_seq_++, slot});
+  ++scheduled_;
+  peak_pending_ = std::max<std::uint64_t>(peak_pending_, heap_.size());
+  return EventHandle{this, slot, rec.generation};
 }
 
 std::uint64_t Scheduler::run_until(Time deadline) {
   std::uint64_t ran = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    // Copy out before pop: the action may schedule new events.
-    Entry e = queue_.top();
-    queue_.pop();
-    if (!*e.alive) continue;
-    *e.alive = false;  // fired events no longer report pending()
-    now_ = e.when;
-    e.action();
+  while (!heap_.empty()) {
+    if (heap_[0].when > deadline) break;
+    const std::uint32_t slot = heap_[0].slot();
+    heap_pop_top();
+    EventRecord& rec = slab_[slot];
+    if (!rec.live) {  // lazily-cancelled: reclaim and move on
+      release_slot(slot);
+      continue;
+    }
+    now_ = rec.when;
+    rec.live = false;
+    ++rec.generation;  // fired events no longer report pending()
+    // Move the closure out and recycle the slot *before* invoking: a
+    // handler that reschedules (the common timer pattern) reuses this
+    // very record, so steady state touches the allocator not at all.
+    Action action = std::move(rec.action);
+    release_slot(slot);
+    action();
     ++executed_;
     ++ran;
   }
@@ -27,13 +98,20 @@ std::uint64_t Scheduler::run_until(Time deadline) {
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    if (!*e.alive) continue;
-    *e.alive = false;  // fired events no longer report pending()
-    now_ = e.when;
-    e.action();
+  while (!heap_.empty()) {
+    const std::uint32_t slot = heap_[0].slot();
+    heap_pop_top();
+    EventRecord& rec = slab_[slot];
+    if (!rec.live) {
+      release_slot(slot);
+      continue;
+    }
+    now_ = rec.when;
+    rec.live = false;
+    ++rec.generation;
+    Action action = std::move(rec.action);
+    release_slot(slot);
+    action();
     ++executed_;
     return true;
   }

@@ -4,58 +4,114 @@
 // protocol timer, and workload event is a closure queued at an absolute
 // simulated time. Events at equal times fire in insertion order, which
 // keeps runs bit-for-bit deterministic for a given seed and scenario.
+//
+// The implementation is built for zero heap traffic in steady state:
+//
+//   * Event records live in a slab (std::vector) and are recycled
+//     through a free list — once the simulation reaches its high-water
+//     mark of concurrent events, scheduling allocates nothing.
+//   * Closures are stored in place inside the record (InlineFunction's
+//     120-byte buffer), not on the heap, and are *moved* out at
+//     dispatch — never copied, unlike the former priority_queue design
+//     that copied the whole entry (closure included) on every pop.
+//   * The ready queue is an index-based 4-ary min-heap over slab slots,
+//     keyed by (time, seq) so the FIFO tie-break among equal-time
+//     events — and with it determinism — is preserved exactly.
+//   * EventHandle is a (slot, generation) pair: cancellation and
+//     pending() checks are O(1) with no per-event shared_ptr<bool>.
+//     Cancellation stays lazy (the slot is reclaimed when its heap
+//     entry surfaces), and the generation counter makes handles to
+//     recycled slots inert rather than dangerous.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace express::sim {
 
+class Scheduler;
+
+/// Counters exposed for tests, benches, and operators.
+struct SchedulerStats {
+  std::uint64_t scheduled = 0;   ///< total schedule_at/after calls
+  std::uint64_t executed = 0;    ///< events fired (cancelled excluded)
+  std::uint64_t cancelled = 0;   ///< events cancelled before firing
+  /// Events scheduled in the past and clamped to now(). Scheduling in
+  /// the past is a logic error in the caller; the clamp keeps the clock
+  /// monotonic, and this counter makes the silent repair visible.
+  std::uint64_t clamped_past_events = 0;
+  std::uint64_t pending = 0;       ///< queued now (incl. cancelled slots)
+  std::uint64_t peak_pending = 0;  ///< high-water mark of `pending`
+  std::uint64_t slab_slots = 0;    ///< event records ever allocated
+  std::uint64_t free_slots = 0;    ///< records currently recycled/idle
+};
+
 /// Handle to a scheduled event; allows O(1) logical cancellation.
-/// Cancellation is lazy: the event stays queued but is skipped when popped.
+/// Cancellation is lazy: the event stays queued but is skipped when its
+/// heap entry is popped. Handles are small value types; copies refer to
+/// the same event, and a handle to a fired/cancelled (and possibly
+/// recycled) event is inert: pending() is false, cancel() a no-op.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancel the event if it has not fired yet. Safe to call repeatedly
   /// and safe on a default-constructed (empty) handle.
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
+  void cancel();
 
   /// True if this handle refers to an event that can still fire.
-  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+  [[nodiscard]] bool pending() const;
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(Scheduler* scheduler, std::uint32_t slot, std::uint32_t generation)
+      : scheduler_(scheduler), slot_(slot), generation_(generation) {}
+
+  Scheduler* scheduler_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 /// Time-ordered event queue with a monotonically advancing clock.
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineFunction;
+  using Handle = EventHandle;
 
   /// Current simulated time. Starts at zero.
   [[nodiscard]] Time now() const { return now_; }
 
   /// Number of events still queued (including lazily-cancelled ones).
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
 
   /// Total events executed since construction (cancelled events excluded).
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Events scheduled in the past and clamped to now() (see
+  /// SchedulerStats::clamped_past_events).
+  [[nodiscard]] std::uint64_t clamped_past_events() const { return clamped_; }
+
+  [[nodiscard]] SchedulerStats stats() const {
+    SchedulerStats s;
+    s.scheduled = scheduled_;
+    s.executed = executed_;
+    s.cancelled = cancelled_;
+    s.clamped_past_events = clamped_;
+    s.pending = heap_.size();
+    s.peak_pending = peak_pending_;
+    s.slab_slots = slab_.size();
+    s.free_slots = free_.size();
+    return s;
+  }
+
   /// Schedule `action` to run at absolute time `when`. Scheduling in the
-  /// past is a logic error; it is clamped to `now()` so the event still
-  /// fires (and fires deterministically after already-queued events at
-  /// the same instant).
+  /// past is a logic error; it is clamped to `now()` (and counted) so
+  /// the event still fires, deterministically after already-queued
+  /// events at the same instant.
   EventHandle schedule_at(Time when, Action action);
 
   /// Schedule `action` to run `delay` after the current time.
@@ -76,23 +132,79 @@ class Scheduler {
   bool step();
 
  private:
-  struct Entry {
+  friend class EventHandle;
+
+  struct EventRecord {
     Time when{};
-    std::uint64_t seq = 0;  // tie-break: FIFO among equal times
-    std::shared_ptr<bool> alive;
+    std::uint32_t generation = 0;
+    bool live = false;  // scheduled and not yet fired or cancelled
     Action action;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+
+  /// Heap entries carry their own (when, seq) sort key so sift
+  /// operations stay inside the contiguous heap array and never chase
+  /// the (much larger) slab records. seq and slot share one word: seq
+  /// values are unique and monotonically increasing, so ordering by the
+  /// packed word is exactly the FIFO tie-break among equal times (the
+  /// slot bits sit below all seq bits and never decide a comparison).
+  struct HeapEntry {
+    static constexpr unsigned kSlotBits = 24;  // 16M concurrent events
+    Time when{};
+    std::uint64_t seq_slot = 0;
+
+    HeapEntry() = default;
+    HeapEntry(Time w, std::uint64_t seq, std::uint32_t slot)
+        : when(w), seq_slot((seq << kSlotBits) | slot) {}
+    [[nodiscard]] std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(seq_slot & ((1U << kSlotBits) - 1));
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  [[nodiscard]] bool handle_pending(std::uint32_t slot,
+                                    std::uint32_t generation) const {
+    return slot < slab_.size() && slab_[slot].generation == generation &&
+           slab_[slot].live;
+  }
+
+  void handle_cancel(std::uint32_t slot, std::uint32_t generation) {
+    if (!handle_pending(slot, generation)) return;
+    EventRecord& rec = slab_[slot];
+    rec.live = false;
+    ++rec.generation;      // invalidate outstanding handles
+    rec.action.reset();    // release captured resources immediately
+    ++cancelled_;
+    // The slot itself is reclaimed when its heap entry surfaces.
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) { free_.push_back(slot); }
+
+  [[nodiscard]] static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq_slot < b.seq_slot;
+  }
+
+  void heap_push(HeapEntry entry);
+  void heap_pop_top();
+
+  std::vector<EventRecord> slab_;
+  std::vector<std::uint32_t> free_;  // recycled slab slots
+  std::vector<HeapEntry> heap_;      // 4-ary min-heap keyed by (when, seq)
   Time now_{0};
   std::uint64_t next_seq_ = 0;
+  std::uint64_t scheduled_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t clamped_ = 0;
+  std::uint64_t peak_pending_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (scheduler_ != nullptr) scheduler_->handle_cancel(slot_, generation_);
+}
+
+inline bool EventHandle::pending() const {
+  return scheduler_ != nullptr && scheduler_->handle_pending(slot_, generation_);
+}
 
 }  // namespace express::sim

@@ -186,6 +186,85 @@ TEST(Network, UnicastLoopbackDelivers) {
   EXPECT_EQ(ra.arrivals[0].sequence, 7u);
 }
 
+/// Records full packet copies so payload-sharing can be inspected.
+class PacketRecorder : public Node {
+ public:
+  PacketRecorder(Network& network, NodeId id) : Node(network, id) {}
+  void handle_packet(const Packet& packet, std::uint32_t) override {
+    packets.push_back(packet);
+  }
+  std::vector<Packet> packets;
+};
+
+TEST(Packet, CopiesShareOnePayloadBuffer) {
+  Packet p = data_packet(ip::Address(1, 1, 1, 1), ip::Address(2, 2, 2, 2), 0, 1);
+  p.payload = std::vector<std::uint8_t>{1, 2, 3, 4};
+  Packet q = p;
+  Packet r = q;
+  EXPECT_TRUE(q.payload.shares_buffer_with(p.payload));
+  EXPECT_TRUE(r.payload.shares_buffer_with(p.payload));
+  const std::vector<std::uint8_t>& bytes = q.payload;
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(Packet, MutablePayloadWriteDoesNotAliasSiblings) {
+  Packet p = data_packet(ip::Address(1, 1, 1, 1), ip::Address(2, 2, 2, 2), 0, 1);
+  p.payload = std::vector<std::uint8_t>{1, 2, 3, 4};
+  Packet q = p;  // replication: shares the buffer
+  q.mutable_payload()[0] = 0xFF;
+  EXPECT_FALSE(q.payload.shares_buffer_with(p.payload));
+  EXPECT_EQ(p.payload.bytes()[0], 1u);  // sibling untouched
+  EXPECT_EQ(q.payload.bytes()[0], 0xFFu);
+}
+
+TEST(Packet, UniquelyOwnedPayloadMutatesInPlace) {
+  Packet p = data_packet(ip::Address(1, 1, 1, 1), ip::Address(2, 2, 2, 2), 0, 1);
+  p.payload = std::vector<std::uint8_t>{1, 2, 3, 4};
+  const std::uint8_t* before = p.payload.bytes().data();
+  p.mutable_payload()[0] = 9;  // no other owner: no clone
+  EXPECT_EQ(p.payload.bytes().data(), before);
+  EXPECT_EQ(p.payload.bytes()[0], 9u);
+}
+
+TEST(Packet, EmptyPayloadsDoNotClaimSharing) {
+  Packet p;
+  Packet q;
+  EXPECT_FALSE(p.payload.shares_buffer_with(q.payload));
+  EXPECT_TRUE(p.payload.empty());
+}
+
+TEST(Network, FanOutDeliveriesShareOnePayloadBuffer) {
+  // Replicating one packet to three neighbors (the router fan-out
+  // pattern) must deliver three packets aliasing a single byte buffer —
+  // replication cost is O(copies), not O(copies * payload bytes).
+  Topology topo;
+  const NodeId a = topo.add_router();
+  const NodeId b = topo.add_router();
+  const NodeId c = topo.add_router();
+  const NodeId d = topo.add_router();
+  for (NodeId n : {b, c, d}) topo.add_link(a, n, sim::milliseconds(1), 1, 1e9);
+  Network network(std::move(topo));
+  auto& rb = network.attach<PacketRecorder>(b);
+  auto& rc = network.attach<PacketRecorder>(c);
+  auto& rd = network.attach<PacketRecorder>(d);
+  Packet p = data_packet(ip::Address(1, 1, 1, 1), ip::Address(2, 2, 2, 2), 0, 1);
+  p.payload = std::vector<std::uint8_t>{0xDE, 0xAD, 0xBE, 0xEF};
+  for (NodeId n : {b, c, d}) network.send_to_neighbor(a, n, p);
+  network.run();
+  ASSERT_EQ(rb.packets.size(), 1u);
+  ASSERT_EQ(rc.packets.size(), 1u);
+  ASSERT_EQ(rd.packets.size(), 1u);
+  // All three deliveries — and the original — alias the same bytes.
+  EXPECT_TRUE(rb.packets[0].payload.shares_buffer_with(p.payload));
+  EXPECT_TRUE(rc.packets[0].payload.shares_buffer_with(p.payload));
+  EXPECT_TRUE(rd.packets[0].payload.shares_buffer_with(p.payload));
+  // And a receiver that writes detaches only itself.
+  rb.packets[0].mutable_payload()[0] = 0;
+  EXPECT_FALSE(rb.packets[0].payload.shares_buffer_with(p.payload));
+  EXPECT_TRUE(rc.packets[0].payload.shares_buffer_with(p.payload));
+  EXPECT_EQ(p.payload.bytes()[0], 0xDEu);
+}
+
 TEST(Network, WireSizeIncludesEncapsulation) {
   Packet inner = data_packet(ip::Address(1, 1, 1, 1),
                              ip::Address(232, 0, 0, 1), 100, 1);

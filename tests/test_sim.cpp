@@ -114,6 +114,124 @@ TEST(Scheduler, StepExecutesExactlyOne) {
   EXPECT_FALSE(s.step());
 }
 
+TEST(Scheduler, PastSchedulingIsCounted) {
+  Scheduler s;
+  EXPECT_EQ(s.clamped_past_events(), 0u);
+  s.schedule_at(seconds(10), [&] {
+    s.schedule_at(seconds(2), [] {});  // in the past: clamped + counted
+    s.schedule_at(seconds(11), [] {});  // in the future: not counted
+  });
+  s.run();
+  EXPECT_EQ(s.clamped_past_events(), 1u);
+  EXPECT_EQ(s.stats().clamped_past_events, 1u);
+}
+
+TEST(Scheduler, HandleToRecycledSlotIsInert) {
+  // After an event fires, its slab slot is recycled for the next event.
+  // A stale handle to the fired event must not report pending and must
+  // not cancel the slot's new occupant.
+  Scheduler s;
+  bool first = false;
+  bool second = false;
+  EventHandle stale = s.schedule_at(seconds(1), [&] { first = true; });
+  s.run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(stale.pending());
+
+  EventHandle fresh = s.schedule_at(seconds(2), [&] { second = true; });
+  EXPECT_TRUE(fresh.pending());
+  stale.cancel();  // must be a no-op on the recycled slot
+  EXPECT_TRUE(fresh.pending());
+  s.run();
+  EXPECT_TRUE(second);
+  EXPECT_FALSE(fresh.pending());
+}
+
+TEST(Scheduler, CopiedHandlesSeeTheSameEvent) {
+  Scheduler s;
+  bool fired = false;
+  EventHandle a = s.schedule_at(seconds(1), [&] { fired = true; });
+  EventHandle b = a;
+  EXPECT_TRUE(b.pending());
+  a.cancel();
+  EXPECT_FALSE(b.pending());
+  b.cancel();  // safe double-cancel through the copy
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, StatsCountScheduledCancelledExecuted) {
+  Scheduler s;
+  EventHandle h1 = s.schedule_at(seconds(1), [] {});
+  s.schedule_at(seconds(2), [] {});
+  s.schedule_at(seconds(3), [] {});
+  h1.cancel();
+  s.run();
+  const SchedulerStats st = s.stats();
+  EXPECT_EQ(st.scheduled, 3u);
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.executed, 2u);
+  EXPECT_EQ(st.pending, 0u);
+  EXPECT_GE(st.peak_pending, 3u);
+  EXPECT_EQ(st.slab_slots, st.free_slots);  // everything recycled
+}
+
+TEST(Scheduler, SlabStopsGrowingInSteadyState) {
+  // The zero-allocation property: once the high-water mark of
+  // concurrent events is reached, schedule/dispatch cycles recycle
+  // slots instead of allocating new ones.
+  Scheduler s;
+  for (int round = 0; round < 3; ++round) {  // warm up the slab
+    for (int i = 0; i < 16; ++i) s.schedule_after(seconds(1), [] {});
+    s.run();
+  }
+  const std::uint64_t high_water = s.stats().slab_slots;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 16; ++i) s.schedule_after(seconds(1), [] {});
+    s.run();
+  }
+  EXPECT_EQ(s.stats().slab_slots, high_water);
+  EXPECT_EQ(s.stats().free_slots, high_water);
+}
+
+TEST(Scheduler, CancelledSlotsAreRecycledToo) {
+  Scheduler s;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 8; ++i) {
+      handles.push_back(s.schedule_after(seconds(1), [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    s.run();
+  }
+  const std::uint64_t high_water = s.stats().slab_slots;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 8; ++i) {
+      handles.push_back(s.schedule_after(seconds(1), [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    s.run();
+  }
+  EXPECT_EQ(s.stats().slab_slots, high_water);
+  EXPECT_EQ(s.stats().cancelled, 53u * 8u);
+  EXPECT_EQ(s.executed_events(), 0u);
+}
+
+TEST(Scheduler, FifoTieBreakSurvivesCancellationsInBetween) {
+  // Cancel every other event at one instant; survivors must still fire
+  // in insertion order.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(s.schedule_at(seconds(5), [&order, i] { order.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
 TEST(Scheduler, EventsScheduledDuringRunAreExecuted) {
   Scheduler s;
   int depth = 0;
