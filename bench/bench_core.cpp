@@ -176,6 +176,14 @@ struct ChurnScore {
   std::uint64_t bytes_sent = 0;
   std::uint64_t total_link_bytes = 0;
   std::uint64_t data_delivered = 0;
+  // Per-module event counts summed over all routers (the layered-stack
+  // view: where the work went during the scenario).
+  std::uint64_t fwd_packets = 0;       ///< ForwardingPlane inputs replicated
+  std::uint64_t fwd_copies = 0;        ///< ForwardingPlane output copies
+  std::uint64_t sub_subscribes = 0;    ///< SubscriptionTable joins
+  std::uint64_t sub_unsubscribes = 0;  ///< SubscriptionTable leaves
+  std::uint64_t counting_rounds = 0;   ///< CountingEngine rounds started
+  std::uint64_t transport_messages = 0;  ///< ecmp::Transport messages sent
 };
 
 ChurnScore measure_churn(bool quick) {
@@ -224,6 +232,17 @@ ChurnScore measure_churn(bool quick) {
   score.total_link_bytes = bed.net().total_link_bytes();
   for (std::size_t i = 0; i < bed.receiver_count(); ++i) {
     score.data_delivered += bed.receiver(i).stats().data_received;
+  }
+  for (std::size_t i = 0; i < bed.router_count(); ++i) {
+    const ExpressRouter& r = bed.router(i);
+    score.fwd_packets += r.forwarding_stats().data_packets_forwarded;
+    score.fwd_copies += r.forwarding_stats().data_copies_sent;
+    score.sub_subscribes += r.subscription_stats().subscribe_events;
+    score.sub_unsubscribes += r.subscription_stats().unsubscribe_events;
+    score.counting_rounds += r.counting_stats().rounds_started;
+    score.transport_messages += r.transport_stats().counts_sent +
+                                r.transport_stats().queries_sent +
+                                r.transport_stats().responses_sent;
   }
   return score;
 }
@@ -288,6 +307,20 @@ void write_json(const std::string& path, bool quick, const SchedulerScore& nw,
     std::fprintf(f, "    \"speedup_vs_seed\": %.2f\n",
                  kSeedChurnWallS / churn.wall_s);
   }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"modules\": {\n");
+  std::fprintf(f, "    \"forwarding_packets\": %llu,\n",
+               static_cast<unsigned long long>(churn.fwd_packets));
+  std::fprintf(f, "    \"forwarding_copies\": %llu,\n",
+               static_cast<unsigned long long>(churn.fwd_copies));
+  std::fprintf(f, "    \"subscription_subscribes\": %llu,\n",
+               static_cast<unsigned long long>(churn.sub_subscribes));
+  std::fprintf(f, "    \"subscription_unsubscribes\": %llu,\n",
+               static_cast<unsigned long long>(churn.sub_unsubscribes));
+  std::fprintf(f, "    \"counting_rounds\": %llu,\n",
+               static_cast<unsigned long long>(churn.counting_rounds));
+  std::fprintf(f, "    \"transport_messages\": %llu\n",
+               static_cast<unsigned long long>(churn.transport_messages));
   std::fprintf(f, "  }%s\n", kSeedSchedulerEventsPerSec > 0 ? "," : "");
   if (kSeedSchedulerEventsPerSec > 0) {
     std::fprintf(f,
@@ -356,6 +389,11 @@ int main(int argc, char** argv) {
   table.row({"churn", "packets_sent", fmt_int(churn.packets_sent)});
   table.row({"churn", "bytes_sent", fmt_int(churn.bytes_sent)});
   table.row({"churn", "data_delivered", fmt_int(churn.data_delivered)});
+  table.row({"modules", "forwarding copies", fmt_int(churn.fwd_copies)});
+  table.row({"modules", "subscription churn",
+             fmt_int(churn.sub_subscribes + churn.sub_unsubscribes)});
+  table.row({"modules", "transport messages",
+             fmt_int(churn.transport_messages)});
   if (kSeedChurnWallS > 0 && !quick) {
     table.row({"churn", "seed wall s", fmt(kSeedChurnWallS, 3)});
     table.row({"churn", "speedup vs seed", fmt(kSeedChurnWallS / churn.wall_s, 2) + "x"});

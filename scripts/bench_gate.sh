@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Performance regression gate: re-run bench_core and compare against the
+# committed BENCH_core.json baseline. Fails (exit 1) if scheduler
+# throughput drops by more than 10% or churn wall time rises by more
+# than 10%.
+#
+# Usage:
+#   scripts/bench_gate.sh [path/to/bench_core] [path/to/result.json]
+#
+# With no arguments it builds nothing: it expects build/bench/bench_core
+# to exist (run cmake --build build first) and writes the fresh result
+# to a temporary file. Pass an existing result JSON as the second
+# argument to skip the benchmark run (e.g. in CI where the run already
+# happened).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="$repo_root/BENCH_core.json"
+bench_bin="${1:-$repo_root/build/bench/bench_core}"
+result="${2:-}"
+
+if [[ ! -f "$baseline" ]]; then
+  echo "bench_gate: missing committed baseline $baseline" >&2
+  exit 2
+fi
+
+if [[ -z "$result" ]]; then
+  if [[ ! -x "$bench_bin" ]]; then
+    echo "bench_gate: benchmark binary not found: $bench_bin" >&2
+    echo "bench_gate: build it first (cmake --build build --target bench_core)" >&2
+    exit 2
+  fi
+  result="$(mktemp /tmp/bench_core.XXXXXX.json)"
+  trap 'rm -f "$result"' EXIT
+  echo "bench_gate: running $bench_bin ..."
+  (cd "$repo_root" && "$bench_bin" --out "$result")
+fi
+
+python3 - "$baseline" "$result" <<'EOF'
+import json
+import sys
+
+TOLERANCE = 0.10  # 10%
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    cur = json.load(f)
+
+failures = []
+
+
+def check_floor(name, baseline, current):
+    """Metric where higher is better: fail if it drops >10%."""
+    floor = baseline * (1.0 - TOLERANCE)
+    verdict = "ok" if current >= floor else "FAIL"
+    print(f"  {name:32s} baseline={baseline:>14.1f} "
+          f"current={current:>14.1f} floor={floor:>14.1f} {verdict}")
+    if current < floor:
+        failures.append(name)
+
+
+def check_ceiling(name, baseline, current):
+    """Metric where lower is better: fail if it rises >10%."""
+    ceiling = baseline * (1.0 + TOLERANCE)
+    verdict = "ok" if current <= ceiling else "FAIL"
+    print(f"  {name:32s} baseline={baseline:>14.3f} "
+          f"current={current:>14.3f} ceiling={ceiling:>14.3f} {verdict}")
+    if current > ceiling:
+        failures.append(name)
+
+
+print("bench_gate: comparing against committed BENCH_core.json")
+check_floor("scheduler.events_per_sec",
+            base["scheduler"]["events_per_sec"],
+            cur["scheduler"]["events_per_sec"])
+check_ceiling("churn.wall_s", base["churn"]["wall_s"], cur["churn"]["wall_s"])
+
+if failures:
+    print(f"bench_gate: FAIL ({', '.join(failures)} regressed >10%)")
+    sys.exit(1)
+print("bench_gate: PASS")
+EOF

@@ -6,7 +6,7 @@
 namespace express::baseline {
 
 CbtRouter::CbtRouter(net::Network& network, net::NodeId id, CbtConfig config)
-    : net::Node(network, id), config_(config) {}
+    : net::Node(network, id), config_(config), plane_(network, id) {}
 
 void CbtRouter::handle_packet(const net::Packet& packet,
                               std::uint32_t in_iface) {
@@ -103,16 +103,12 @@ void CbtRouter::inject(const net::Packet& packet, std::uint32_t except_iface) {
     ++stats_.drops;
     return;
   }
-  for (std::uint32_t iface : it->second.ifaces) {
-    if (iface == except_iface) continue;
-    const net::LinkId link = network().topology().node(id()).interfaces[iface];
-    if (!network().topology().link(link).up) continue;
-    net::Packet copy = packet;
-    if (copy.ttl == 0) continue;
-    --copy.ttl;
-    network().send_on_interface(id(), iface, std::move(copy));
-    ++stats_.data_copies_sent;
-  }
+  net::InterfaceSet set;
+  for (std::uint32_t iface : it->second.ifaces) set.set(iface);
+  net::ReplicateOptions opts;
+  opts.exclude_iface = except_iface;
+  opts.skip_down_links = true;
+  stats_.data_copies_sent += plane_.replicate(packet, set, opts);
 }
 
 void CbtRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {

@@ -15,6 +15,7 @@
 #include <unordered_set>
 
 #include "baseline/wire.hpp"
+#include "express/forwarding.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
 
@@ -65,6 +66,9 @@ class CbtRouter : public net::Node {
 
   CbtConfig config_;
   CbtStats stats_;
+  /// Shared data plane: CBT's bidirectional tree interfaces feed the
+  /// protocol-agnostic replication primitive.
+  express::ForwardingPlane plane_;
   std::unordered_map<ip::Address, Tree> trees_;
   std::unordered_map<ip::Address, std::unordered_set<std::uint32_t>> members_;
 };

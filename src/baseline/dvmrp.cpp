@@ -4,7 +4,7 @@ namespace express::baseline {
 
 DvmrpRouter::DvmrpRouter(net::Network& network, net::NodeId id,
                          DvmrpConfig config)
-    : net::Node(network, id), config_(config) {}
+    : net::Node(network, id), config_(config), plane_(network, id) {}
 
 bool DvmrpRouter::iface_is_host(std::uint32_t iface) const {
   const net::NodeId peer = network().topology().neighbor_via(id(), iface);
@@ -142,13 +142,11 @@ void DvmrpRouter::forward_data(const net::Packet& packet,
   }
 
   ++stats_.data_packets_forwarded;
-  for (std::uint32_t iface : oifs) {
-    net::Packet copy = packet;
-    if (copy.ttl == 0) continue;
-    --copy.ttl;
-    network().send_on_interface(id(), iface, std::move(copy));
-    ++stats_.data_copies_sent;
-  }
+  net::InterfaceSet set;
+  for (std::uint32_t iface : oifs) set.set(iface);
+  // Link state was already checked while building `oifs`.
+  net::ReplicateOptions opts;
+  stats_.data_copies_sent += plane_.replicate(packet, set, opts);
 }
 
 void DvmrpRouter::send_control(net::NodeId neighbor, const Msg& msg) {

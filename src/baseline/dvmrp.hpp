@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "baseline/wire.hpp"
+#include "express/forwarding.hpp"
 #include "ip/channel.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
@@ -67,6 +68,9 @@ class DvmrpRouter : public net::Node {
 
   DvmrpConfig config_;
   DvmrpStats stats_;
+  /// Shared data plane: DVMRP resolves flood-minus-prunes into an
+  /// outgoing set, then replicates through the protocol-agnostic plane.
+  express::ForwardingPlane plane_;
   std::unordered_map<ip::Address, std::unordered_set<std::uint32_t>> members_;
   std::unordered_map<ip::ChannelId, SgState> sg_;  ///< keyed (S, G)
 };

@@ -7,7 +7,7 @@ namespace express::baseline {
 
 PimSmRouter::PimSmRouter(net::Network& network, net::NodeId id,
                          PimConfig config)
-    : net::Node(network, id), config_(config) {}
+    : net::Node(network, id), config_(config), plane_(network, id) {}
 
 std::optional<net::NodeId> PimSmRouter::toward(ip::Address addr) const {
   auto node = network().node_of(addr);
@@ -152,16 +152,12 @@ void PimSmRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
 void PimSmRouter::deliver(const net::Packet& packet,
                           const std::unordered_set<std::uint32_t>& oifs,
                           std::uint32_t in_iface) {
-  for (std::uint32_t iface : oifs) {
-    if (iface == in_iface) continue;
-    const net::LinkId link = network().topology().node(id()).interfaces[iface];
-    if (!network().topology().link(link).up) continue;
-    net::Packet copy = packet;
-    if (copy.ttl == 0) continue;
-    --copy.ttl;
-    network().send_on_interface(id(), iface, std::move(copy));
-    ++stats_.data_copies_sent;
-  }
+  net::InterfaceSet set;
+  for (std::uint32_t iface : oifs) set.set(iface);
+  net::ReplicateOptions opts;
+  opts.exclude_iface = in_iface;
+  opts.skip_down_links = true;
+  stats_.data_copies_sent += plane_.replicate(packet, set, opts);
 }
 
 void PimSmRouter::maybe_spt_switchover(const net::Packet& packet) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "baseline/wire.hpp"
+#include "express/forwarding.hpp"
 #include "ip/channel.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
@@ -96,6 +97,9 @@ class PimSmRouter : public net::Node {
 
   PimConfig config_;
   PimStats stats_;
+  /// Shared data plane: PIM computes its outgoing set per packet (oif
+  /// inheritance) and hands replication to the protocol-agnostic plane.
+  ForwardingPlane plane_;
   std::unordered_map<ip::Address, std::unordered_set<std::uint32_t>> members_;
   std::unordered_map<ip::Address, StarG> star_g_;
   std::unordered_map<ip::ChannelId, Sg> sg_;

@@ -1,0 +1,178 @@
+#include "ecmp/transport.hpp"
+
+#include <utility>
+#include <variant>
+
+namespace express::ecmp {
+
+Transport::Transport(net::Network& network, net::NodeId node,
+                     TransportPolicy policy, TransportHooks hooks)
+    : network_(&network),
+      node_(node),
+      policy_(policy),
+      hooks_(std::move(hooks)) {
+  if (policy_.neighbor_discovery) schedule_neighbor_discovery();
+  if (policy_.batch_window) {
+    batcher_ = std::make_unique<Batcher>(
+        network.scheduler(), *policy_.batch_window,
+        [this](net::NodeId neighbor, std::vector<std::uint8_t> payload) {
+          transmit(neighbor, std::move(payload));
+        });
+  }
+}
+
+// ---------------------------------------------------------------------
+// Wire I/O
+// ---------------------------------------------------------------------
+
+void Transport::classify_sent(const Message& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Count>) {
+          ++stats_.counts_sent;
+        } else if constexpr (std::is_same_v<T, CountQuery>) {
+          ++stats_.queries_sent;
+        } else if constexpr (std::is_same_v<T, CountResponse>) {
+          ++stats_.responses_sent;
+        }
+        // KeyRegister is host-originated; routers only receive it.
+      },
+      msg);
+}
+
+void Transport::send(net::NodeId neighbor, const Message& msg) {
+  classify_sent(msg);
+  if (batcher_) {
+    // §5.3 TCP mode: coalesce messages per neighbor into segments.
+    batcher_->enqueue(neighbor, msg);
+    return;
+  }
+  transmit(neighbor, encode(msg));
+}
+
+void Transport::transmit(net::NodeId neighbor,
+                         std::vector<std::uint8_t> payload) {
+  net::Packet packet;
+  packet.src = network_->topology().node(node_).address;
+  packet.dst = network_->topology().node(neighbor).address;
+  packet.protocol = ip::Protocol::kEcmp;
+  packet.payload = std::move(payload);
+  stats_.control_bytes_sent += packet.payload.size();
+  auto iface = net::iface_toward(*network_, node_, neighbor);
+  if (!iface) return;  // unreachable (partition); like a failed TCP write
+  network_->send_on_interface(node_, *iface, std::move(packet));
+}
+
+void Transport::send_lan_query(std::uint32_t iface, const CountQuery& query) {
+  net::Packet packet;
+  packet.src = network_->topology().node(node_).address;
+  packet.dst = ip::kEcmpAllRouters;  // LAN-wide general query
+  packet.protocol = ip::Protocol::kEcmp;
+  packet.payload = encode(Message{query});
+  stats_.control_bytes_sent += packet.payload.size();
+  network_->send_on_interface(node_, iface, std::move(packet));
+  ++stats_.queries_sent;
+}
+
+Delivery Transport::receive(const net::Packet& packet,
+                            std::uint32_t in_iface) {
+  Delivery delivery;
+  delivery.from = network_->node_of(packet.src).value_or(
+      network_->topology().neighbor_via(node_, in_iface));
+  stats_.control_bytes_received += packet.payload.size();
+  delivery.reestablished =
+      neighbors_.heard_from(delivery.from, in_iface, network_->now());
+  delivery.messages = decode_all(packet.payload);
+  for (const Message& msg : delivery.messages) {
+    std::visit(
+        [&](const auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, Count>) {
+            ++stats_.counts_received;
+          } else if constexpr (std::is_same_v<T, CountQuery>) {
+            ++stats_.queries_received;
+          } else if constexpr (std::is_same_v<T, CountResponse>) {
+            ++stats_.responses_received;
+          }
+        },
+        msg);
+  }
+  return delivery;
+}
+
+// ---------------------------------------------------------------------
+// Interface modes + UDP refresh clock (§3.2)
+// ---------------------------------------------------------------------
+
+void Transport::set_mode(std::uint32_t iface, Mode mode) {
+  iface_modes_[iface] = mode;
+  if (mode == Mode::kUdp) schedule_udp_refresh();
+}
+
+Mode Transport::mode(std::uint32_t iface) const {
+  auto it = iface_modes_.find(iface);
+  return it == iface_modes_.end() ? Mode::kTcp : it->second;
+}
+
+void Transport::schedule_udp_refresh() {
+  if (udp_refresh_scheduled_) return;
+  udp_refresh_scheduled_ = true;
+  network_->scheduler().schedule_after(policy_.udp_query_interval,
+                                       [this]() { udp_refresh_tick(); });
+}
+
+void Transport::udp_refresh_tick() {
+  if (hooks_.udp_refresh_round) hooks_.udp_refresh_round();
+  network_->scheduler().schedule_after(policy_.udp_query_interval,
+                                       [this]() { udp_refresh_tick(); });
+}
+
+// ---------------------------------------------------------------------
+// Neighbor discovery / keepalive (§3.3)
+// ---------------------------------------------------------------------
+
+void Transport::schedule_neighbor_discovery() {
+  network_->scheduler().schedule_after(policy_.neighbor_query_interval,
+                                       [this]() { neighbor_discovery_tick(); });
+}
+
+void Transport::neighbor_discovery_tick() {
+  // §3.3: periodically multicast a neighbors CountQuery on each
+  // interface; on point-to-point links that is a direct query.
+  const auto& info = network_->topology().node(node_);
+  for (std::uint32_t iface = 0; iface < info.interfaces.size(); ++iface) {
+    const net::LinkId link = info.interfaces[iface];
+    if (!network_->topology().link(link).up) continue;
+    const net::NodeId peer = network_->topology().peer(link, node_);
+    if (network_->topology().node(peer).kind != net::NodeKind::kRouter) {
+      continue;
+    }
+    CountQuery query;
+    query.channel = ip::ChannelId{info.address, ip::kEcmpAllRouters};
+    query.count_id = kNeighborsId;
+    query.timeout = policy_.neighbor_query_interval;
+    query.query_seq = (next_seq_++ & 0xFFFF) | 0x40000000U;
+    send(peer, query);
+  }
+  for (const auto& dead :
+       neighbors_.expire(network_->now(), policy_.neighbor_timeout)) {
+    // Keepalives cover router-router sessions only: hosts do not answer
+    // neighbor queries; their liveness is UDP-mode soft state (§3.2) or
+    // link failure.
+    if (network_->topology().node(dead.neighbor).kind ==
+            net::NodeKind::kRouter &&
+        hooks_.neighbor_died) {
+      hooks_.neighbor_died(dead.neighbor);
+    }
+  }
+  schedule_neighbor_discovery();
+}
+
+sim::Duration Transport::link_rtt(std::uint32_t iface) const {
+  const net::LinkId link =
+      network_->topology().node(node_).interfaces.at(iface);
+  return network_->topology().link(link).delay * 2;
+}
+
+}  // namespace express::ecmp

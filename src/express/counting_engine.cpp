@@ -1,0 +1,155 @@
+#include "express/counting_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+namespace express {
+
+namespace {
+
+constexpr sim::Duration kMinQueryTimeout = sim::milliseconds(10);
+
+}  // namespace
+
+CountingEngine::~CountingEngine() {
+  for (auto& [key, round] : pending_) round.timer.cancel();
+  for (auto& [channel, p] : proactive_) p.check.cancel();
+}
+
+sim::Duration CountingEngine::decremented_timeout(sim::Duration timeout,
+                                                  sim::Duration upstream_rtt,
+                                                  double rtt_multiple) {
+  sim::Duration remaining =
+      timeout - std::chrono::duration_cast<sim::Duration>(upstream_rtt *
+                                                          rtt_multiple);
+  return std::max(remaining, kMinQueryTimeout);
+}
+
+bool CountingEngine::start_round(const ip::ChannelId& channel,
+                                 ecmp::CountId count_id, sim::Duration timeout,
+                                 std::optional<net::NodeId> requester,
+                                 std::uint32_t query_seq, std::int64_t local,
+                                 std::uint32_t children, LocalDone local_done) {
+  if (children == 0) {
+    if (requester) {
+      reply_(*requester, channel, count_id, local, query_seq);
+    } else if (local_done) {
+      local_done(CountResult{local, true});
+    }
+    return false;
+  }
+  const std::uint64_t key = round_key(channel, count_id, query_seq);
+  PendingRound& round = pending_[key];
+  round.channel = channel;
+  round.count_id = count_id;
+  round.query_seq = query_seq;
+  round.requester = requester;
+  round.sum = local;
+  round.outstanding = children;
+  round.local_done = std::move(local_done);
+  round.timer = scheduler_->schedule_after(
+      timeout, [this, key]() { finish_round(key, true); });
+  ++stats_.rounds_started;
+  return true;
+}
+
+bool CountingEngine::absorb(const ip::ChannelId& channel,
+                            ecmp::CountId count_id, std::uint32_t query_seq,
+                            std::int64_t value) {
+  const std::uint64_t key = round_key(channel, count_id, query_seq);
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return false;  // late reply after timeout
+  it->second.sum += value;
+  if (--it->second.outstanding == 0) finish_round(key, false);
+  return true;
+}
+
+void CountingEngine::finish_round(std::uint64_t key, bool timed_out) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  PendingRound round = std::move(it->second);
+  pending_.erase(it);
+  round.timer.cancel();
+  if (timed_out) {
+    ++stats_.rounds_timed_out;
+  } else {
+    ++stats_.rounds_completed;
+  }
+
+  if (round.requester) {
+    // Partial or complete, the sum goes upstream (§3.1: a router that
+    // times out sends a partial reply before its parent times out).
+    reply_(*round.requester, round.channel, round.count_id, round.sum,
+           round.query_seq);
+  } else if (round.local_done) {
+    round.local_done(CountResult{round.sum, !timed_out});
+  }
+}
+
+void CountingEngine::enable_proactive(const ip::ChannelId& channel,
+                                      const counting::CurveParams& params) {
+  proactive_.try_emplace(channel, params);
+}
+
+bool CountingEngine::evaluate(const ip::ChannelId& channel, std::int64_t total,
+                              bool validated_upstream) {
+  auto it = proactive_.find(channel);
+  if (it == proactive_.end()) return false;
+  ProactiveChannel& p = it->second;
+  if (total == 0) return false;  // handled by the prune path
+  const sim::Time now = scheduler_->now();
+  if (!validated_upstream) {
+    // Hold updates until the join is accepted; re-check shortly.
+    p.check.cancel();
+    p.check = scheduler_->schedule_after(
+        sim::milliseconds(100), [this, channel]() { recheck_(channel); });
+    return false;
+  }
+  if (p.state.should_send(total, now)) return true;
+  // Drift exists but is tolerated for now; re-check when the decaying
+  // tolerance crosses the current drift (always within tau of the last
+  // update). Arrivals in between re-evaluate and pull the check earlier.
+  p.check.cancel();
+  if (auto delay = p.state.next_send_delay(total, now)) {
+    p.check = scheduler_->schedule_after(
+        *delay + sim::microseconds(1), [this, channel]() { recheck_(channel); });
+  }
+  return false;
+}
+
+void CountingEngine::note_advertised(const ip::ChannelId& channel,
+                                     std::int64_t total) {
+  auto it = proactive_.find(channel);
+  if (it == proactive_.end()) return;
+  it->second.state.mark_sent(total, scheduler_->now());
+}
+
+void CountingEngine::proactive_update_sent(const ip::ChannelId& channel,
+                                           std::int64_t total) {
+  auto it = proactive_.find(channel);
+  if (it == proactive_.end()) return;
+  ++stats_.proactive_updates_sent;
+  it->second.state.mark_sent(total, scheduler_->now());
+  it->second.check.cancel();
+}
+
+void CountingEngine::erase_channel(const ip::ChannelId& channel) {
+  auto it = proactive_.find(channel);
+  if (it == proactive_.end()) return;
+  it->second.check.cancel();
+  proactive_.erase(it);
+}
+
+std::uint64_t CountingEngine::round_key(const ip::ChannelId& channel,
+                                        ecmp::CountId count_id,
+                                        std::uint32_t query_seq) {
+  std::uint64_t x = std::hash<ip::ChannelId>{}(channel);
+  x ^= (static_cast<std::uint64_t>(count_id) << 32) ^ query_seq;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+}  // namespace express

@@ -1,0 +1,149 @@
+// Count collection and proactive-count drift tracking (paper §3.1, §6).
+//
+// CountingEngine owns the *aggregation* side of ECMP counting at one
+// router: the table of pending CountQuery rounds (per-subtree partial
+// sums, outstanding-child counters, and the timeout timer producing
+// partial replies), plus the §6 proactive-counting state — one
+// error-tolerance curve per channel deciding when subscriber-count
+// drift is large enough to push upstream, and the recheck timers that
+// re-evaluate when the decaying tolerance crosses the current drift.
+//
+// Module seam: the engine schedules timers and aggregates integers; it
+// sends nothing and holds no channel membership. Replies leave through
+// the two callbacks injected at construction (ReplyFn for upstream
+// Counts, RecheckFn re-entering the router's proactive evaluation), and
+// membership facts (subtree totals, upstream validation) are passed in
+// per call. It therefore needs no Network and no SubscriptionTable,
+// which keeps query aggregation testable against a bare Scheduler (see
+// tests/test_counting_engine.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "counting/error_curve.hpp"
+#include "ecmp/count_id.hpp"
+#include "ip/channel.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+
+namespace express {
+
+struct CountingStats {
+  std::uint64_t rounds_started = 0;    ///< pending aggregation rounds created
+  std::uint64_t rounds_completed = 0;  ///< all children replied in time
+  std::uint64_t rounds_timed_out = 0;  ///< partial reply after timeout
+  std::uint64_t proactive_updates_sent = 0;
+};
+
+/// Aggregate result of a count collection.
+struct CountResult {
+  std::int64_t count = 0;
+  bool complete = false;  ///< false when assembled from a partial timeout
+};
+
+class CountingEngine {
+ public:
+  /// Deliver an aggregated (possibly partial) sum upstream.
+  using ReplyFn = std::function<void(net::NodeId requester,
+                                     const ip::ChannelId& channel,
+                                     ecmp::CountId count_id, std::int64_t sum,
+                                     std::uint32_t query_seq)>;
+  /// Re-enter the router's proactive evaluation for a channel (fired by
+  /// the drift-recheck timers).
+  using RecheckFn = std::function<void(const ip::ChannelId& channel)>;
+  using LocalDone = std::function<void(CountResult)>;
+
+  CountingEngine(sim::Scheduler& scheduler, ReplyFn reply, RecheckFn recheck)
+      : scheduler_(&scheduler),
+        reply_(std::move(reply)),
+        recheck_(std::move(recheck)) {}
+  ~CountingEngine();
+
+  CountingEngine(const CountingEngine&) = delete;
+  CountingEngine& operator=(const CountingEngine&) = delete;
+
+  /// §3.1 per-hop timeout decrement: subtract `rtt_multiple` upstream
+  /// RTTs so children reply (possibly partially) before parents give up,
+  /// clamped to a 10 ms floor.
+  [[nodiscard]] static sim::Duration decremented_timeout(
+      sim::Duration timeout, sim::Duration upstream_rtt, double rtt_multiple);
+
+  // --- query rounds (§3.1) -------------------------------------------
+  /// Open an aggregation round seeded with this router's own
+  /// contribution. With no children the round resolves immediately
+  /// (reply/local_done fire inline) and false is returned; otherwise the
+  /// timeout timer is armed — *before* the caller fans the query out,
+  /// preserving event order — and true is returned.
+  bool start_round(const ip::ChannelId& channel, ecmp::CountId count_id,
+                   sim::Duration timeout, std::optional<net::NodeId> requester,
+                   std::uint32_t query_seq, std::int64_t local,
+                   std::uint32_t children, LocalDone local_done);
+
+  /// Absorb a child's Count reply into its pending round. Returns false
+  /// for late replies after the round already timed out.
+  bool absorb(const ip::ChannelId& channel, ecmp::CountId count_id,
+              std::uint32_t query_seq, std::int64_t value);
+
+  // --- proactive counting (§6) ---------------------------------------
+  void enable_proactive(const ip::ChannelId& channel,
+                        const counting::CurveParams& params);
+  [[nodiscard]] bool proactive_enabled(const ip::ChannelId& channel) const {
+    return proactive_.contains(channel);
+  }
+  /// Evaluate drift for a channel: true when the router should push an
+  /// update Count upstream *now* (then call proactive_update_sent);
+  /// otherwise the appropriate recheck timer has been (re)armed.
+  bool evaluate(const ip::ChannelId& channel, std::int64_t total,
+                bool validated_upstream);
+  /// The aggregate just went upstream on the join path: reset the curve.
+  void note_advertised(const ip::ChannelId& channel, std::int64_t total);
+  /// A proactive update was sent: reset the curve and the recheck timer.
+  void proactive_update_sent(const ip::ChannelId& channel, std::int64_t total);
+
+  /// Channel torn down: drop its proactive state and recheck timer.
+  void erase_channel(const ip::ChannelId& channel);
+
+  // --- introspection -------------------------------------------------
+  [[nodiscard]] std::size_t pending_rounds() const {
+    return pending_.size();
+  }
+  [[nodiscard]] const CountingStats& stats() const { return stats_; }
+
+ private:
+  struct PendingRound {
+    ip::ChannelId channel;
+    ecmp::CountId count_id = ecmp::kSubscriberId;
+    std::uint32_t query_seq = 0;
+    std::optional<net::NodeId> requester;  ///< upstream; nullopt = local origin
+    std::int64_t sum = 0;
+    std::uint32_t outstanding = 0;
+    sim::EventHandle timer;
+    LocalDone local_done;
+  };
+
+  struct ProactiveChannel {
+    counting::ProactiveState state;
+    sim::EventHandle check;  ///< drift-recheck timer
+
+    explicit ProactiveChannel(const counting::CurveParams& params)
+        : state(params) {}
+  };
+
+  void finish_round(std::uint64_t key, bool timed_out);
+
+  [[nodiscard]] static std::uint64_t round_key(const ip::ChannelId& channel,
+                                               ecmp::CountId count_id,
+                                               std::uint32_t query_seq);
+
+  sim::Scheduler* scheduler_;
+  ReplyFn reply_;
+  RecheckFn recheck_;
+  std::unordered_map<std::uint64_t, PendingRound> pending_;
+  std::unordered_map<ip::ChannelId, ProactiveChannel> proactive_;
+  CountingStats stats_;
+};
+
+}  // namespace express

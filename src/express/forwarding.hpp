@@ -1,0 +1,76 @@
+// The protocol-agnostic data plane (paper §3.4).
+//
+// ForwardingPlane owns one node's FIB and its replication counters and
+// implements the three data-path operations every experiment exercises:
+//
+//   * forward()       — the EXPRESS fast path: exact-match (S, E)
+//                       lookup, RPF check (inside Fib::lookup), then
+//                       replication to the outgoing set with TTL
+//                       decrement and arrival-interface exclusion.
+//   * relay_subcast() — §2.1 subcast: a source-validated inner packet
+//                       injected into the channel tree at this router.
+//                       No TTL decrement and no arrival exclusion — the
+//                       decapsulated packet starts fresh here.
+//   * replicate()     — raw interface-set replication for protocols
+//                       that compute their outgoing set per packet
+//                       (PIM-SM's oif inheritance, CBT's bidirectional
+//                       tree, DVMRP's flood-minus-prunes). This is what
+//                       lets the baselines delete their private copies
+//                       of the replication loop.
+//
+// Module seam: the plane knows packets, the FIB, and interfaces. It
+// knows nothing of ECMP messages, subscriptions, keys, counting, or
+// transports — those layers *install* FIB entries; this layer only
+// consumes them. The router control plane talks to the plane through
+// fib() upserts/erases; nothing flows the other way.
+#pragma once
+
+#include <cstdint>
+
+#include "express/fib.hpp"
+#include "net/network.hpp"
+#include "net/replicate.hpp"
+
+namespace express {
+
+struct ForwardingStats {
+  std::uint64_t data_packets_forwarded = 0;  ///< input packets replicated
+  std::uint64_t data_copies_sent = 0;        ///< total output copies
+  std::uint64_t subcasts_relayed = 0;
+};
+
+class ForwardingPlane {
+ public:
+  ForwardingPlane(net::Network& network, net::NodeId node)
+      : network_(&network), node_(node) {}
+
+  /// EXPRESS fast path: look up (packet.src, packet.dst), replicate to
+  /// the outgoing set (minus the arrival interface), decrementing TTL.
+  /// Packets matching no entry or failing RPF are counted and dropped
+  /// by the FIB. Returns true when the packet was forwarded.
+  bool forward(const net::Packet& packet, std::uint32_t in_iface);
+
+  /// §2.1 subcast: inject `packet.inner` (already validated as coming
+  /// from the channel source) into the tree at this node. The inner
+  /// packet is replicated to the full outgoing set as-is.
+  bool relay_subcast(const net::Packet& packet);
+
+  /// Protocol-agnostic replication for callers that computed their own
+  /// outgoing set. Counts copies in this plane's stats and returns the
+  /// number sent.
+  std::size_t replicate(const net::Packet& packet,
+                        const net::InterfaceSet& oifs,
+                        const net::ReplicateOptions& opts);
+
+  [[nodiscard]] Fib& fib() { return fib_; }
+  [[nodiscard]] const Fib& fib() const { return fib_; }
+  [[nodiscard]] const ForwardingStats& stats() const { return stats_; }
+
+ private:
+  net::Network* network_;
+  net::NodeId node_;
+  Fib fib_;
+  ForwardingStats stats_;
+};
+
+}  // namespace express

@@ -1,38 +1,50 @@
 #include "express/router.hpp"
 
-#include <algorithm>
-#include <set>
-#include <cassert>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "net/adjacency.hpp"
 
 namespace express {
 
 namespace {
 
-constexpr sim::Duration kMinQueryTimeout = sim::milliseconds(10);
+ecmp::TransportPolicy make_policy(const RouterConfig& config) {
+  ecmp::TransportPolicy policy;
+  policy.timeout_rtt_multiple = config.timeout_rtt_multiple;
+  policy.neighbor_discovery = config.neighbor_discovery;
+  policy.neighbor_query_interval = config.neighbor_query_interval;
+  policy.neighbor_timeout = config.neighbor_timeout;
+  policy.udp_query_interval = config.udp_query_interval;
+  policy.udp_robustness = config.udp_robustness;
+  policy.batch_window = config.batch_window;
+  return policy;
+}
 
 }  // namespace
 
 ExpressRouter::ExpressRouter(net::Network& network, net::NodeId id,
                              RouterConfig config)
-    : net::Node(network, id), config_(config) {
-  if (config_.neighbor_discovery) schedule_neighbor_discovery();
-  if (config_.batch_window) {
-    batcher_ = std::make_unique<ecmp::Batcher>(
-        network.scheduler(), *config_.batch_window,
-        [this](net::NodeId neighbor, std::vector<std::uint8_t> payload) {
-          net::Packet packet;
-          packet.src = address();
-          packet.dst = this->network().topology().node(neighbor).address;
-          packet.protocol = ip::Protocol::kEcmp;
-          packet.payload = std::move(payload);
-          stats_.control_bytes_sent += packet.payload.size();
-          if (auto iface = iface_toward(neighbor)) {
-            this->network().send_on_interface(this->id(), *iface,
-                                              std::move(packet));
-          }
-        });
-  }
-}
+    : net::Node(network, id),
+      config_(config),
+      forwarding_(network, id),
+      counting_(
+          network.scheduler(),
+          [this](net::NodeId requester, const ip::ChannelId& channel,
+                 ecmp::CountId count_id, std::int64_t sum,
+                 std::uint32_t query_seq) {
+            send_count(requester, channel, sum, std::nullopt, count_id,
+                       query_seq);
+          },
+          [this](const ip::ChannelId& channel) {
+            maybe_send_proactive(channel);
+          }),
+      transport_(network, id, make_policy(config),
+                 ecmp::TransportHooks{
+                     [this]() { udp_refresh_round(); },
+                     [this](net::NodeId neighbor) { neighbor_died(neighbor); },
+                 }) {}
 
 // ---------------------------------------------------------------------
 // Packet dispatch
@@ -45,11 +57,15 @@ void ExpressRouter::handle_packet(const net::Packet& packet,
     return;
   }
   if (packet.protocol == ip::Protocol::kIpInIp && packet.dst == address()) {
-    relay_subcast(packet);
+    // Only the channel source may subcast (§7.1): the outer unicast
+    // source must be the inner channel source.
+    if (packet.inner && packet.inner->src == packet.src) {
+      forwarding_.relay_subcast(packet);
+    }
     return;
   }
   if (packet.dst.is_single_source()) {
-    forward_data(packet, in_iface);
+    forwarding_.forward(packet, in_iface);
     return;
   }
   // Stray unicast: routers are pure transit in this simulator; the
@@ -58,80 +74,34 @@ void ExpressRouter::handle_packet(const net::Packet& packet,
 
 void ExpressRouter::handle_ecmp(const net::Packet& packet,
                                 std::uint32_t in_iface) {
-  const net::NodeId from =
-      network().node_of(packet.src).value_or(
-          network().topology().neighbor_via(id(), in_iface));
-  stats_.control_bytes_received += packet.payload.size();
+  const ecmp::Delivery delivery = transport_.receive(packet, in_iface);
+  // §3.2: on (re)connection, re-announce every channel we have going
+  // upstream through this neighbor.
+  if (delivery.reestablished) reannounce_to(delivery.from);
 
-  const bool reestablished =
-      neighbors_.heard_from(from, in_iface, network().now());
-  if (reestablished) {
-    // §3.2: on (re)connection, re-announce every channel we have going
-    // upstream through this neighbor.
-    for (auto& [channel, state] : channels_) {
-      if (state.upstream == from && state.advertised_upstream > 0) {
-        ecmp::Count count;
-        count.channel = channel;
-        count.count = subtree_count(channel);
-        if (state.cached_key) count.key = *state.cached_key;
-        send_message(from, count);
-        ++stats_.counts_sent;
-      }
-    }
-  }
-
-  for (const ecmp::Message& msg : ecmp::decode_all(packet.payload)) {
+  for (const ecmp::Message& msg : delivery.messages) {
     std::visit(
         [&](const auto& m) {
           using T = std::decay_t<decltype(m)>;
           if constexpr (std::is_same_v<T, ecmp::Count>) {
-            on_count(m, from, in_iface);
+            on_count(m, delivery.from, in_iface);
           } else if constexpr (std::is_same_v<T, ecmp::CountQuery>) {
-            on_query(m, from, in_iface);
+            on_query(m, delivery.from, in_iface);
           } else if constexpr (std::is_same_v<T, ecmp::CountResponse>) {
-            on_response(m, from);
+            on_response(m, delivery.from);
           } else {
-            on_key_register(m, from);
+            on_key_register(m, delivery.from);
           }
         },
         msg);
   }
 }
 
-// ---------------------------------------------------------------------
-// Data fast path (§3.4)
-// ---------------------------------------------------------------------
-
-void ExpressRouter::forward_data(const net::Packet& packet,
-                                 std::uint32_t in_iface) {
-  const ip::ChannelId channel{packet.src, packet.dst};
-  const InterfaceSet* oifs = fib_.lookup(channel, in_iface);
-  if (oifs == nullptr) return;  // counted and dropped by the FIB
-  ++stats_.data_packets_forwarded;
-  oifs->for_each([&](std::uint32_t iface) {
-    if (iface == in_iface) return;
-    net::Packet copy = packet;
-    if (copy.ttl == 0) return;
-    --copy.ttl;
-    network().send_on_interface(id(), iface, std::move(copy));
-    ++stats_.data_copies_sent;
-  });
-}
-
-void ExpressRouter::relay_subcast(const net::Packet& packet) {
-  if (!packet.inner) return;
-  // Only the channel source may subcast (§7.1): the outer unicast source
-  // must be the inner channel source.
-  if (packet.inner->src != packet.src) return;
-  const ip::ChannelId channel{packet.inner->src, packet.inner->dst};
-  const FibEntry* entry = fib_.find(channel);
-  if (entry == nullptr) return;  // not an on-channel router
-  ++stats_.subcasts_relayed;
-  entry->oifs.for_each([&](std::uint32_t iface) {
-    net::Packet copy = *packet.inner;
-    network().send_on_interface(id(), iface, std::move(copy));
-    ++stats_.data_copies_sent;
-  });
+void ExpressRouter::reannounce_to(net::NodeId to) {
+  for (const auto& [channel, state] : table_.channels()) {
+    if (state.upstream != to || state.advertised_upstream == 0) continue;
+    send_count(to, channel, state.subtree_count(), state.cached_key);
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -140,20 +110,12 @@ void ExpressRouter::relay_subcast(const net::Packet& packet) {
 
 void ExpressRouter::on_count(const ecmp::Count& msg, net::NodeId from,
                              std::uint32_t iface) {
-  ++stats_.counts_received;
   if (msg.count_id == ecmp::kNeighborsId) return;  // discovery reply
-
   if (msg.query_seq != 0) {
     // Reply to an outstanding CountQuery: aggregate, don't touch state.
-    const std::uint64_t key =
-        pending_key(msg.channel, msg.count_id, msg.query_seq);
-    auto it = pending_queries_.find(key);
-    if (it == pending_queries_.end()) return;  // late reply after timeout
-    it->second.sum += msg.count;
-    if (--it->second.outstanding == 0) finish_query(key, false);
+    counting_.absorb(msg.channel, msg.count_id, msg.query_seq, msg.count);
     return;
   }
-
   if (msg.count_id == ecmp::kSubscriberId) {
     apply_subscriber_count(msg.channel, from, iface, msg.count, msg.key);
   }
@@ -169,47 +131,28 @@ void ExpressRouter::apply_subscriber_count(const ip::ChannelId& channel,
 
   if (count <= 0) {
     // Leave (§3.2): zero Count unsubscribes this neighbor.
-    auto it = channels_.find(channel);
-    if (it == channels_.end()) return;
-    ChannelState& state = it->second;
-    if (state.downstream.erase(from) == 0) return;
-    ++stats_.unsubscribe_events;
-    refresh_fib(channel, state);
-    if (total_observer_) total_observer_(channel, subtree_count(channel), now);
-    if (interface_mode(iface) == ecmp::Mode::kUdp) {
+    Channel* state = table_.find(channel);
+    if (state == nullptr || !table_.remove_downstream(channel, from)) return;
+    refresh_fib(channel, *state);
+    notify_total(channel);
+    if (transport_.mode(iface) == ecmp::Mode::kUdp) {
       // IGMPv2-style: re-query the interface after a leave to catch
       // members we would otherwise believe gone.
-      ecmp::CountQuery q;
-      q.channel = channel;
-      q.count_id = ecmp::kSubscriberId;
-      q.timeout = config_.udp_query_interval / 2;
-      q.query_seq = 0;
-      send_message(from, q);
-      ++stats_.queries_sent;
+      send_query(from, channel, ecmp::kSubscriberId,
+                 transport_.policy().udp_reply_timeout(), 0);
     }
-    update_upstream(channel, state, std::nullopt);
+    update_upstream(channel, *state, std::nullopt);
     return;
   }
 
   // Join or refresh.
-  auto [it, created] = channels_.try_emplace(channel);
-  ChannelState& state = it->second;
-  // Updates over an already-validated session (count refreshes,
-  // proactive aggregates) need no re-validation: routers are trusted at
-  // the network layer once the subscription was accepted (§3.5).
-  if (!created) {
-    if (auto existing = state.downstream.find(from);
-        existing != state.downstream.end() && existing->second.validated &&
-        existing->second.count > 0) {
-      existing->second.count = count;
-      existing->second.last_refresh = now;
-      refresh_fib(channel, state);
-      if (total_observer_) {
-        total_observer_(channel, subtree_count(channel), now);
-      }
-      update_upstream(channel, state, std::nullopt);
-      return;
-    }
+  bool created = false;
+  Channel& state = table_.get_or_create(channel, created);
+  if (!created && table_.refresh_existing(channel, from, count, now)) {
+    refresh_fib(channel, state);
+    notify_total(channel);
+    update_upstream(channel, state, std::nullopt);
+    return;
   }
   if (created) {
     const net::NodeId src = source_node(channel);
@@ -222,293 +165,134 @@ void ExpressRouter::apply_subscriber_count(const ip::ChannelId& channel,
       }
     }
     if (config_.proactive) {
-      state.proactive.emplace(*config_.proactive);
+      counting_.enable_proactive(channel, *config_.proactive);
     }
   }
 
   bool decidable = false;
-  const bool acceptable = key_acceptable(channel, state, key, decidable);
+  const bool acceptable = table_.key_acceptable(
+      channel, state, key, at_root(channel, state), decidable);
   if (decidable && !acceptable) {
-    ++stats_.auth_rejects;
-    ecmp::CountResponse reject;
-    reject.channel = channel;
-    reject.status = ecmp::Status::kInvalidKey;
-    send_message(from, reject);
-    ++stats_.responses_sent;
-    if (created) channels_.erase(channel);
+    table_.reject_join(channel, created);
+    if (created) counting_.erase_channel(channel);
+    send_response(from, channel, ecmp::Status::kInvalidKey);
     return;
   }
 
-  DownstreamEntry& entry = state.downstream[from];
-  const bool is_new = (entry.count == 0);
-  entry.count = count;
-  // A refresh without a key must not clobber the key the original join
-  // presented (it is what the pending validation verdict applies to).
-  if (key) entry.key = *key;
-  entry.last_refresh = now;
-  if (is_new) {
-    ++stats_.subscribe_events;
-    entry.validated = decidable;
-  }
-
+  bool is_new = false;
+  DownstreamEntry& entry =
+      table_.apply_join(state, from, count, key, decidable, now, is_new);
   refresh_fib(channel, state);
-  if (total_observer_) total_observer_(channel, subtree_count(channel), now);
+  notify_total(channel);
   update_upstream(channel, state, key);
 
   if (is_new && (decidable || state.validated_upstream)) {
     entry.validated = true;
-    ecmp::CountResponse ok;
-    ok.channel = channel;
-    ok.status = ecmp::Status::kOk;
-    send_message(from, ok);
-    ++stats_.responses_sent;
+    send_response(from, channel, ecmp::Status::kOk);
   }
 }
 
-bool ExpressRouter::key_acceptable(const ip::ChannelId& channel,
-                                   const ChannelState& state,
-                                   std::optional<ip::ChannelKey> key,
-                                   bool& locally_decidable) const {
-  // Authoritative knowledge: the source registered K(S,E) here (§2.1).
-  if (auto it = key_registry_.find(channel); it != key_registry_.end()) {
-    locally_decidable = true;
-    return key.has_value() && *key == it->second;
-  }
-  // Cached from a previous upstream validation (§3.2).
-  if (state.cached_key) {
-    locally_decidable = true;
-    return key.has_value() && *key == *state.cached_key;
-  }
+bool ExpressRouter::at_root(const ip::ChannelId& channel,
+                            const Channel& state) const {
   const net::NodeId src = source_node(channel);
-  const bool at_root =
-      src == net::kInvalidNode ||
-      (state.upstream != net::kInvalidNode &&
-       network().topology().node(state.upstream).kind !=
-           net::NodeKind::kRouter) ||
-      network().routing().rpf_neighbor(id(), src) == std::nullopt;
-  if (at_root) {
-    // First-hop router of an unauthenticated channel: accept anything
-    // (a supplied key on an open channel is simply ignored).
-    locally_decidable = true;
-    return true;
-  }
-  if (state.validated_upstream && !state.cached_key) {
-    // Already validated keyless: the channel is open.
-    locally_decidable = true;
-    return true;
-  }
-  // We cannot decide; accept tentatively and let upstream validate.
-  locally_decidable = false;
-  return true;
+  return src == net::kInvalidNode ||
+         (state.upstream != net::kInvalidNode &&
+          network().topology().node(state.upstream).kind !=
+              net::NodeKind::kRouter) ||
+         network().routing().rpf_neighbor(id(), src) == std::nullopt;
 }
 
-void ExpressRouter::update_upstream(const ip::ChannelId& channel,
-                                    ChannelState& state,
-                                    std::optional<ip::ChannelKey> key_to_forward) {
-  const std::int64_t total = subtree_count(channel);
+void ExpressRouter::update_upstream(
+    const ip::ChannelId& channel, Channel& state,
+    std::optional<ip::ChannelKey> key_to_forward) {
   const bool upstream_is_router =
       state.upstream != net::kInvalidNode &&
       network().topology().node(state.upstream).kind == net::NodeKind::kRouter;
-
-  if (!upstream_is_router) {
-    // We are the tree root (first hop from the source host): validation
-    // authority rests with our key registry; nothing propagates further.
-    state.validated_upstream = true;
-    if (total == 0) remove_channel(channel);
-    return;
+  const UpstreamPlan plan = table_.plan_upstream_update(
+      channel, state, key_to_forward, upstream_is_router);
+  switch (plan.send) {
+    case UpstreamSend::kJoin:
+      send_count(state.upstream, channel, plan.total, plan.key);
+      counting_.note_advertised(channel, plan.total);
+      break;
+    case UpstreamSend::kPrune:
+      send_count(state.upstream, channel, 0, std::nullopt);
+      break;
+    case UpstreamSend::kDrift:
+      maybe_send_proactive(channel);
+      break;
+    case UpstreamSend::kNone:
+      break;
   }
-
-  if (state.advertised_upstream == 0 && total > 0) {
-    ecmp::Count join;
-    join.channel = channel;
-    join.count = total;
-    if (state.cached_key) {
-      join.key = *state.cached_key;
-    } else if (key_to_forward) {
-      join.key = *key_to_forward;
-    }
-    if (!state.validated_upstream) state.pending_sent_key = join.key;
-    send_message(state.upstream, join);
-    ++stats_.counts_sent;
-    ++stats_.joins_sent;
-    state.advertised_upstream = total;
-    if (state.proactive) state.proactive->mark_sent(total, network().now());
-  } else if (state.advertised_upstream > 0 && total == 0) {
-    ecmp::Count leave;
-    leave.channel = channel;
-    leave.count = 0;
-    send_message(state.upstream, leave);
-    ++stats_.counts_sent;
-    ++stats_.prunes_sent;
-    state.advertised_upstream = 0;
-    remove_channel(channel);
-  } else if (state.proactive && total != state.advertised_upstream) {
-    evaluate_proactive(channel, state);
-  }
+  if (plan.remove_channel) remove_channel(channel);
 }
 
-void ExpressRouter::evaluate_proactive(const ip::ChannelId& channel,
-                                       ChannelState& state) {
-  if (!state.proactive) return;
-  const std::int64_t total = subtree_count(channel);
-  if (total == 0) return;  // handled by the prune path
-  const sim::Time now = network().now();
-  if (!state.validated_upstream) {
-    // Hold updates until the join is accepted; re-check shortly.
-    state.proactive_check.cancel();
-    state.proactive_check = network().scheduler().schedule_after(
-        sim::milliseconds(100), [this, channel]() {
-          auto it = channels_.find(channel);
-          if (it == channels_.end()) return;
-          evaluate_proactive(channel, it->second);
-        });
-    return;
-  }
-  if (state.proactive->should_send(total, now)) {
-    ecmp::Count update;
-    update.channel = channel;
-    update.count = total;
-    if (state.cached_key) update.key = *state.cached_key;
-    send_message(state.upstream, update);
-    ++stats_.counts_sent;
-    ++stats_.proactive_updates_sent;
-    state.proactive->mark_sent(total, now);
-    state.advertised_upstream = total;
-    state.proactive_check.cancel();
-    return;
-  }
-  // Drift exists but is tolerated for now; re-check when the decaying
-  // tolerance crosses the current drift (always within tau of the last
-  // update). Arrivals in between re-evaluate and pull the check earlier.
-  state.proactive_check.cancel();
-  if (auto delay = state.proactive->next_send_delay(total, now)) {
-    state.proactive_check = network().scheduler().schedule_after(
-        *delay + sim::microseconds(1), [this, channel]() {
-          auto it = channels_.find(channel);
-          if (it == channels_.end()) return;
-          evaluate_proactive(channel, it->second);
-        });
-  }
+void ExpressRouter::maybe_send_proactive(const ip::ChannelId& channel) {
+  Channel* state = table_.find(channel);
+  if (state == nullptr) return;
+  const std::int64_t total = state->subtree_count();
+  if (!counting_.evaluate(channel, total, state->validated_upstream)) return;
+  send_count(state->upstream, channel, total, state->cached_key);
+  counting_.proactive_update_sent(channel, total);
+  state->advertised_upstream = total;
 }
 
 void ExpressRouter::refresh_fib(const ip::ChannelId& channel,
-                                ChannelState& state) {
-  FibEntry& entry = fib_.upsert(channel);
+                                const Channel& state) {
+  FibEntry& entry = forwarding_.fib().upsert(channel);
   entry.iif = state.rpf_iface;
   entry.oifs = InterfaceSet{};
   for (const auto& [neighbor, down] : state.downstream) {
     if (down.count <= 0) continue;
-    if (auto iface = iface_toward(neighbor)) {
+    if (auto iface = net::iface_toward(network(), id(), neighbor)) {
       entry.oifs.set(*iface);
     }
   }
 }
 
 void ExpressRouter::remove_channel(const ip::ChannelId& channel) {
-  auto it = channels_.find(channel);
-  if (it == channels_.end()) return;
-  it->second.proactive_check.cancel();
-  it->second.pending_switch.cancel();
-  channels_.erase(it);
-  fib_.erase(channel);
+  if (!table_.contains(channel)) return;
+  counting_.erase_channel(channel);
+  if (auto it = pending_switches_.find(channel);
+      it != pending_switches_.end()) {
+    it->second.cancel();
+    pending_switches_.erase(it);
+  }
+  table_.erase(channel);
+  forwarding_.fib().erase(channel);
 }
 
 void ExpressRouter::resolve_validation(const ip::ChannelId& channel,
                                        ecmp::Status status) {
-  auto it = channels_.find(channel);
-  if (it == channels_.end()) return;
-  ChannelState& state = it->second;
-
-  if (status == ecmp::Status::kOk) {
-    state.validated_upstream = true;
-    // The verdict covers exactly the key we forwarded: it becomes the
-    // cached K(S,E); pending joins that presented a *different* key are
-    // rejected against it (or accepted if no key was involved — open
-    // channel).
-    if (state.pending_sent_key && *state.pending_sent_key != ip::kNoKey) {
-      state.cached_key = *state.pending_sent_key;
-    }
-    state.pending_sent_key.reset();
-    std::vector<net::NodeId> mismatched;
-    for (auto& [neighbor, entry] : state.downstream) {
-      if (entry.validated) continue;
-      if (state.cached_key && entry.key != *state.cached_key) {
-        mismatched.push_back(neighbor);
-        continue;
-      }
-      entry.validated = true;
-      ecmp::CountResponse ok;
-      ok.channel = channel;
-      ok.status = ecmp::Status::kOk;
-      send_message(neighbor, ok);
-      ++stats_.responses_sent;
-    }
-    for (net::NodeId neighbor : mismatched) {
-      state.downstream.erase(neighbor);
-      ++stats_.auth_rejects;
-      ecmp::CountResponse reject;
-      reject.channel = channel;
-      reject.status = ecmp::Status::kInvalidKey;
-      send_message(neighbor, reject);
-      ++stats_.responses_sent;
-    }
-    if (!mismatched.empty()) {
-      refresh_fib(channel, state);
-      if (total_observer_) {
-        total_observer_(channel, subtree_count(channel), network().now());
-      }
-    }
+  if (status != ecmp::Status::kOk && status != ecmp::Status::kInvalidKey) {
     return;
   }
-
-  if (status == ecmp::Status::kInvalidKey) {
-    // Our join was rejected — the rejection applies to the key we sent.
-    const ip::ChannelKey rejected_key =
-        state.pending_sent_key.value_or(ip::kNoKey);
-    state.pending_sent_key.reset();
-    std::vector<net::NodeId> rejected;
-    std::optional<ip::ChannelKey> retry_key;
-    for (auto& [neighbor, entry] : state.downstream) {
-      if (entry.validated) continue;
-      if (entry.key == rejected_key) {
-        rejected.push_back(neighbor);
-      } else if (!retry_key) {
-        retry_key = entry.key;  // a different key deserves its own try
-      }
-    }
-    for (net::NodeId neighbor : rejected) {
-      state.downstream.erase(neighbor);
-      ++stats_.auth_rejects;
-      ecmp::CountResponse reject;
-      reject.channel = channel;
-      reject.status = ecmp::Status::kInvalidKey;
-      send_message(neighbor, reject);
-      ++stats_.responses_sent;
-    }
-    // The upstream router holds no state for us now.
-    state.advertised_upstream = 0;
-    refresh_fib(channel, state);
-    if (total_observer_) {
-      total_observer_(channel, subtree_count(channel), network().now());
-    }
-    if (subtree_count(channel) == 0) {
-      remove_channel(channel);
-    } else if (state.cached_key) {
-      // Validated subscribers remain: rejoin with the known-good key.
-      update_upstream(channel, state, state.cached_key);
-    } else {
-      // Unvalidated joins with a different key remain: try theirs.
-      update_upstream(channel, state, retry_key);
-    }
+  const VerdictEffects fx =
+      table_.apply_upstream_verdict(channel, status == ecmp::Status::kOk);
+  Channel* state = table_.find(channel);
+  if (state == nullptr) return;
+  for (net::NodeId neighbor : fx.accept) {
+    send_response(neighbor, channel, ecmp::Status::kOk);
+  }
+  for (net::NodeId neighbor : fx.reject) {
+    send_response(neighbor, channel, ecmp::Status::kInvalidKey);
+  }
+  if (fx.membership_changed) {
+    refresh_fib(channel, *state);
+    notify_total(channel);
+  }
+  if (fx.channel_gone) {
+    remove_channel(channel);
+  } else if (fx.rejoin) {
+    update_upstream(channel, *state, fx.rejoin_key);
   }
 }
 
 void ExpressRouter::on_response(const ecmp::CountResponse& msg,
                                 net::NodeId from) {
-  ++stats_.responses_received;
-  auto it = channels_.find(msg.channel);
-  if (it == channels_.end()) return;
-  if (it->second.upstream != from) return;  // only upstream verdicts count
+  const Channel* state = table_.find(msg.channel);
+  if (state == nullptr) return;
+  if (state->upstream != from) return;  // only upstream verdicts count
   resolve_validation(msg.channel, msg.status);
 }
 
@@ -519,13 +303,8 @@ void ExpressRouter::on_key_register(const ecmp::KeyRegister& msg,
   if (info.kind != net::NodeKind::kHost || info.address != msg.channel.source) {
     return;
   }
-  key_registry_[msg.channel] = msg.key;
-  ++stats_.key_registrations;
-  ecmp::CountResponse ok;
-  ok.channel = msg.channel;
-  ok.status = ecmp::Status::kOk;
-  send_message(from, ok);
-  ++stats_.responses_sent;
+  table_.register_key(msg.channel, msg.key);
+  send_response(from, msg.channel, ecmp::Status::kOk);
 }
 
 // ---------------------------------------------------------------------
@@ -534,56 +313,29 @@ void ExpressRouter::on_key_register(const ecmp::KeyRegister& msg,
 
 void ExpressRouter::on_query(const ecmp::CountQuery& msg, net::NodeId from,
                              std::uint32_t iface) {
-  ++stats_.queries_received;
-
   if (msg.count_id == ecmp::kNeighborsId) {
-    ecmp::Count reply;
-    reply.channel = msg.channel;
-    reply.count_id = ecmp::kNeighborsId;
-    reply.count = 1;
-    reply.query_seq = msg.query_seq;
-    send_message(from, reply);
-    ++stats_.counts_sent;
+    send_count(from, msg.channel, 1, std::nullopt, ecmp::kNeighborsId,
+               msg.query_seq);
     return;
   }
-
   if (msg.count_id == ecmp::kAllChannelsId) {
     // General query (§3.3): retransmit Counts for every channel we have
     // going upstream through the querier.
-    for (auto& [channel, state] : channels_) {
-      if (state.upstream != from || state.advertised_upstream == 0) continue;
-      ecmp::Count count;
-      count.channel = channel;
-      count.count = subtree_count(channel);
-      if (state.cached_key) count.key = *state.cached_key;
-      send_message(from, count);
-      ++stats_.counts_sent;
-    }
+    reannounce_to(from);
     return;
   }
-
   if (msg.query_seq == 0 && msg.count_id == ecmp::kSubscriberId) {
     // UDP-mode refresh: answer with an unsolicited current Count.
-    auto it = channels_.find(msg.channel);
-    if (it == channels_.end()) return;
-    ecmp::Count count;
-    count.channel = msg.channel;
-    count.count = subtree_count(msg.channel);
-    if (it->second.cached_key) count.key = *it->second.cached_key;
-    send_message(from, count);
-    ++stats_.counts_sent;
+    const Channel* state = table_.find(msg.channel);
+    if (state == nullptr) return;
+    send_count(from, msg.channel, state->subtree_count(), state->cached_key);
     return;
   }
-
   // §3.1: decrement the timeout by a small multiple of the RTT to the
   // upstream neighbor before fanning out, so we reply (possibly
   // partially) before our parent gives up on us.
-  const sim::Duration rtt = upstream_rtt(iface);
-  sim::Duration remaining =
-      msg.timeout -
-      std::chrono::duration_cast<sim::Duration>(
-          rtt * config_.timeout_rtt_multiple);
-  remaining = std::max(remaining, kMinQueryTimeout);
+  const sim::Duration remaining = CountingEngine::decremented_timeout(
+      msg.timeout, transport_.link_rtt(iface), config_.timeout_rtt_multiple);
   start_query(msg.channel, msg.count_id, remaining, from, msg.query_seq,
               nullptr);
 }
@@ -594,7 +346,7 @@ void ExpressRouter::initiate_count(const ip::ChannelId& channel,
                                    std::function<void(CountResult)> done) {
   const std::uint32_t seq =
       (static_cast<std::uint32_t>(id() & 0x7FFF) << 16) |
-      (next_local_seq_++ & 0xFFFF) | 0x80000000U;
+      (transport_.next_seq() & 0xFFFF) | 0x80000000U;
   start_query(channel, count_id, timeout, std::nullopt, seq, std::move(done));
 }
 
@@ -603,446 +355,25 @@ void ExpressRouter::start_query(const ip::ChannelId& channel,
                                 std::optional<net::NodeId> requester,
                                 std::uint32_t query_seq,
                                 std::function<void(CountResult)> local_done) {
-  auto reply = [&](std::int64_t value) {
-    if (requester) {
-      ecmp::Count count;
-      count.channel = channel;
-      count.count_id = count_id;
-      count.count = value;
-      count.query_seq = query_seq;
-      send_message(*requester, count);
-      ++stats_.counts_sent;
-    } else if (local_done) {
-      local_done(CountResult{value, true});
-    }
-  };
-
-  auto it = channels_.find(channel);
-  if (it == channels_.end()) {
-    reply(0);
+  const Channel* state = table_.find(channel);
+  if (state == nullptr) {
+    // Off-tree: reply zero immediately.
+    counting_.start_round(channel, count_id, timeout, requester, query_seq, 0,
+                          0, std::move(local_done));
     return;
   }
-  ChannelState& state = it->second;
-  const std::int64_t local = local_contribution(channel, state, count_id);
-
-  // Children: downstream tree neighbors. Network-layer counts stop at
-  // routers (§3.1 footnote 3); subscriber/app counts reach leaf hosts;
-  // domain-scoped counts never cross a domain boundary.
-  const std::uint16_t my_domain = network().topology().node(id()).domain;
-  std::vector<net::NodeId> children;
-  for (const auto& [neighbor, entry] : state.downstream) {
-    if (entry.count <= 0) continue;
-    const auto& info = network().topology().node(neighbor);
-    if (info.kind == net::NodeKind::kHost &&
-        !ecmp::forwarded_to_hosts(count_id)) {
-      continue;
-    }
-    if (count_id == ecmp::kDomainLinkCountId && info.domain != my_domain) {
-      continue;
-    }
-    children.push_back(neighbor);
+  const std::int64_t local =
+      table_.local_contribution(*state, count_id, network(), id());
+  const std::vector<net::NodeId> children =
+      table_.query_children(*state, count_id, network(), id());
+  if (!counting_.start_round(channel, count_id, timeout, requester, query_seq,
+                             local, static_cast<std::uint32_t>(children.size()),
+                             std::move(local_done))) {
+    return;  // resolved inline (no children)
   }
-  if (children.empty()) {
-    reply(local);
-    return;
-  }
-
-  const std::uint64_t key = pending_key(channel, count_id, query_seq);
-  PendingQuery& pending = pending_queries_[key];
-  pending.channel = channel;
-  pending.count_id = count_id;
-  pending.query_seq = query_seq;
-  pending.requester = requester;
-  pending.sum = local;
-  pending.outstanding = static_cast<std::uint32_t>(children.size());
-  pending.local_done = std::move(local_done);
-  pending.timer = network().scheduler().schedule_after(
-      timeout, [this, key]() { finish_query(key, true); });
-
   for (net::NodeId child : children) {
-    ecmp::CountQuery query;
-    query.channel = channel;
-    query.count_id = count_id;
-    query.timeout = timeout;
-    query.query_seq = query_seq;
-    send_message(child, query);
-    ++stats_.queries_sent;
+    send_query(child, channel, count_id, timeout, query_seq);
   }
-}
-
-void ExpressRouter::finish_query(std::uint64_t key, bool timed_out) {
-  auto it = pending_queries_.find(key);
-  if (it == pending_queries_.end()) return;
-  PendingQuery pending = std::move(it->second);
-  pending_queries_.erase(it);
-  pending.timer.cancel();
-
-  if (pending.requester) {
-    // Partial or complete, the sum goes upstream (§3.1: a router that
-    // times out sends a partial reply before its parent times out).
-    ecmp::Count count;
-    count.channel = pending.channel;
-    count.count_id = pending.count_id;
-    count.count = pending.sum;
-    count.query_seq = pending.query_seq;
-    send_message(*pending.requester, count);
-    ++stats_.counts_sent;
-  } else if (pending.local_done) {
-    pending.local_done(CountResult{pending.sum, !timed_out});
-  }
-}
-
-std::int64_t ExpressRouter::local_contribution(const ip::ChannelId& channel,
-                                               const ChannelState& state,
-                                               ecmp::CountId count_id) const {
-  (void)channel;
-  switch (count_id) {
-    case ecmp::kLinkCountId: {
-      std::int64_t links = 0;
-      for (const auto& [neighbor, entry] : state.downstream) {
-        if (entry.count > 0) ++links;
-      }
-      return links;
-    }
-    case ecmp::kDomainLinkCountId: {
-      // Only tree links whose far end stays inside our domain count
-      // toward that domain's settlement.
-      const std::uint16_t my_domain = network().topology().node(id()).domain;
-      std::int64_t links = 0;
-      for (const auto& [neighbor, entry] : state.downstream) {
-        if (entry.count > 0 &&
-            network().topology().node(neighbor).domain == my_domain) {
-          ++links;
-        }
-      }
-      return links;
-    }
-    case ecmp::kRouterCountId:
-      return 1;
-    case ecmp::kWeightedTreeSizeId: {
-      std::int64_t weight = 0;
-      for (const auto& [neighbor, entry] : state.downstream) {
-        if (entry.count <= 0) continue;
-        if (auto iface = iface_toward(neighbor)) {
-          const net::LinkId link =
-              network().topology().node(id()).interfaces.at(*iface);
-          weight += network().topology().link(link).cost;
-        }
-      }
-      return weight;
-    }
-    default:
-      return 0;  // subscriber and app-defined counts live at the hosts
-  }
-}
-
-// ---------------------------------------------------------------------
-// Transport, discovery, UDP soft state
-// ---------------------------------------------------------------------
-
-void ExpressRouter::send_message(net::NodeId neighbor,
-                                 const ecmp::Message& msg) {
-  if (batcher_) {
-    // §5.3 TCP mode: coalesce messages per neighbor into segments.
-    batcher_->enqueue(neighbor, msg);
-    return;
-  }
-  net::Packet packet;
-  packet.src = address();
-  packet.dst = network().topology().node(neighbor).address;
-  packet.protocol = ip::Protocol::kEcmp;
-  packet.payload = ecmp::encode(msg);
-  stats_.control_bytes_sent += packet.payload.size();
-  auto iface = iface_toward(neighbor);
-  if (!iface) return;  // unreachable (partition); counted by caller effects
-  network().send_on_interface(id(), *iface, std::move(packet));
-}
-
-void ExpressRouter::set_interface_mode(std::uint32_t iface, ecmp::Mode mode) {
-  iface_modes_[iface] = mode;
-  if (mode == ecmp::Mode::kUdp) schedule_udp_refresh();
-}
-
-ecmp::Mode ExpressRouter::interface_mode(std::uint32_t iface) const {
-  auto it = iface_modes_.find(iface);
-  return it == iface_modes_.end() ? ecmp::Mode::kTcp : it->second;
-}
-
-void ExpressRouter::schedule_udp_refresh() {
-  if (udp_refresh_scheduled_) return;
-  udp_refresh_scheduled_ = true;
-  network().scheduler().schedule_after(config_.udp_query_interval,
-                                       [this]() { udp_refresh_tick(); });
-}
-
-void ExpressRouter::udp_refresh_tick() {
-  const sim::Time now = network().now();
-  const sim::Duration lifetime =
-      config_.udp_query_interval * config_.udp_robustness +
-      config_.udp_query_interval / 2;
-
-  // Expire soft state on UDP interfaces, then re-query live members.
-  // On multi-access (LAN) interfaces one general query per channel
-  // covers every member on the wire (§3.2: all UDP neighbors respond,
-  // no suppression).
-  std::vector<std::pair<ip::ChannelId, net::NodeId>> expired;
-  std::set<std::pair<ip::ChannelId, std::uint32_t>> lan_queried;
-  for (auto& [channel, state] : channels_) {
-    for (auto& [neighbor, entry] : state.downstream) {
-      auto iface = iface_toward(neighbor);
-      if (!iface || interface_mode(*iface) != ecmp::Mode::kUdp) continue;
-      if (now - entry.last_refresh > lifetime) {
-        expired.emplace_back(channel, neighbor);
-        continue;
-      }
-      ecmp::CountQuery query;
-      query.channel = channel;
-      query.count_id = ecmp::kSubscriberId;
-      query.timeout = config_.udp_query_interval / 2;
-      query.query_seq = 0;
-      if (iface_is_lan(*iface)) {
-        if (!lan_queried.insert({channel, *iface}).second) continue;
-        net::Packet packet;
-        packet.src = address();
-        packet.dst = ip::kEcmpAllRouters;  // LAN-wide general query
-        packet.protocol = ip::Protocol::kEcmp;
-        packet.payload = ecmp::encode(ecmp::Message{query});
-        stats_.control_bytes_sent += packet.payload.size();
-        network().send_on_interface(id(), *iface, std::move(packet));
-        ++stats_.queries_sent;
-      } else {
-        send_message(neighbor, query);
-        ++stats_.queries_sent;
-      }
-    }
-  }
-  for (const auto& [channel, neighbor] : expired) {
-    auto iface = iface_toward(neighbor);
-    apply_subscriber_count(channel, neighbor, iface.value_or(0), 0,
-                           std::nullopt);
-  }
-
-  network().scheduler().schedule_after(config_.udp_query_interval,
-                                       [this]() { udp_refresh_tick(); });
-}
-
-void ExpressRouter::schedule_neighbor_discovery() {
-  network().scheduler().schedule_after(
-      config_.neighbor_query_interval, [this]() { neighbor_discovery_tick(); });
-}
-
-void ExpressRouter::neighbor_discovery_tick() {
-  // §3.3: periodically multicast a neighbors CountQuery on each
-  // interface; on point-to-point links that is a direct query.
-  const auto& info = network().topology().node(id());
-  for (std::uint32_t iface = 0; iface < info.interfaces.size(); ++iface) {
-    const net::LinkId link = info.interfaces[iface];
-    if (!network().topology().link(link).up) continue;
-    const net::NodeId peer = network().topology().peer(link, id());
-    if (network().topology().node(peer).kind != net::NodeKind::kRouter) continue;
-    ecmp::CountQuery query;
-    query.channel = ip::ChannelId{address(), ip::kEcmpAllRouters};
-    query.count_id = ecmp::kNeighborsId;
-    query.timeout = config_.neighbor_query_interval;
-    query.query_seq = (next_local_seq_++ & 0xFFFF) | 0x40000000U;
-    send_message(peer, query);
-    ++stats_.queries_sent;
-  }
-  for (const auto& dead :
-       neighbors_.expire(network().now(), config_.neighbor_timeout)) {
-    // Keepalives cover router-router sessions only: hosts do not answer
-    // neighbor queries; their liveness is UDP-mode soft state (§3.2) or
-    // link failure.
-    if (network().topology().node(dead.neighbor).kind ==
-        net::NodeKind::kRouter) {
-      neighbor_died(dead.neighbor);
-    }
-  }
-  schedule_neighbor_discovery();
-}
-
-void ExpressRouter::neighbor_died(net::NodeId neighbor) {
-  // §3.2 TCP mode: the count associated with a failed connection is
-  // subtracted from the sum provided upstream.
-  std::vector<ip::ChannelId> affected;
-  for (auto& [channel, state] : channels_) {
-    if (state.downstream.contains(neighbor)) affected.push_back(channel);
-  }
-  for (const ip::ChannelId& channel : affected) {
-    auto iface = network().topology().interface_to(id(), neighbor);
-    apply_subscriber_count(channel, neighbor, iface.value_or(0), 0,
-                           std::nullopt);
-  }
-}
-
-// ---------------------------------------------------------------------
-// Route changes (§3.2)
-// ---------------------------------------------------------------------
-
-void ExpressRouter::on_routing_change() {
-  // First, drop downstream entries whose link died (connection reset).
-  std::vector<std::pair<ip::ChannelId, net::NodeId>> dead_children;
-  for (auto& [channel, state] : channels_) {
-    for (const auto& [neighbor, entry] : state.downstream) {
-      auto direct = network().topology().interface_to(id(), neighbor);
-      if (direct) {
-        const net::LinkId link =
-            network().topology().node(id()).interfaces.at(*direct);
-        if (!network().topology().link(link).up) {
-          dead_children.emplace_back(channel, neighbor);
-        }
-      } else if (!network().routing().cost(id(), neighbor)) {
-        // LAN-attached (or multi-hop) neighbor now unreachable.
-        dead_children.emplace_back(channel, neighbor);
-      }
-    }
-  }
-  for (const auto& [channel, neighbor] : dead_children) {
-    auto iface = iface_toward(neighbor);
-    apply_subscriber_count(channel, neighbor, iface.value_or(0), 0,
-                           std::nullopt);
-  }
-
-  // Then re-evaluate the upstream of every remaining channel, with
-  // hysteresis to damp oscillation (§3.2).
-  for (auto& [channel, state] : channels_) {
-    const net::NodeId src = source_node(channel);
-    if (src == net::kInvalidNode) continue;
-
-    // A dead upstream link resets the ECMP connection: the peer is
-    // subtracting our count right now, so our advertisement is void.
-    if (state.upstream != net::kInvalidNode &&
-        state.advertised_upstream > 0) {
-      auto up_iface = network().topology().interface_to(id(), state.upstream);
-      if (up_iface) {
-        const net::LinkId link =
-            network().topology().node(id()).interfaces.at(*up_iface);
-        if (!network().topology().link(link).up) {
-          state.advertised_upstream = 0;
-        }
-      }
-    }
-
-    auto new_up = network().routing().rpf_neighbor(id(), src);
-    if (!new_up || *new_up == state.upstream) {
-      state.pending_switch.cancel();
-      // Connection re-established with the same upstream after an
-      // outage: re-announce (§3.2 unsolicited Counts on establishment).
-      if (new_up && state.advertised_upstream == 0 &&
-          subtree_count(channel) > 0) {
-        update_upstream(channel, state, state.cached_key);
-      }
-      continue;
-    }
-    if (state.pending_switch.pending()) continue;  // already scheduled
-    const ip::ChannelId ch = channel;
-    state.pending_switch = network().scheduler().schedule_after(
-        config_.route_change_hysteresis, [this, ch]() {
-          auto it = channels_.find(ch);
-          if (it == channels_.end()) return;
-          ChannelState& s = it->second;
-          const net::NodeId src_node = source_node(ch);
-          if (src_node == net::kInvalidNode) return;
-          auto up = network().routing().rpf_neighbor(id(), src_node);
-          if (!up || *up == s.upstream) return;  // flap settled; stay put
-
-          const std::int64_t total = subtree_count(ch);
-          // Zero Count to the old upstream, current Count to the new.
-          if (s.upstream != net::kInvalidNode &&
-              network().topology().node(s.upstream).kind ==
-                  net::NodeKind::kRouter &&
-              s.advertised_upstream > 0) {
-            ecmp::Count leave;
-            leave.channel = ch;
-            leave.count = 0;
-            send_message(s.upstream, leave);
-            ++stats_.counts_sent;
-            ++stats_.prunes_sent;
-          }
-          s.upstream = *up;
-          if (auto rif = network().routing().rpf_interface(id(), src_node)) {
-            s.rpf_iface = *rif;
-          }
-          s.advertised_upstream = 0;
-          refresh_fib(ch, s);
-          if (total > 0) {
-            update_upstream(ch, s, s.cached_key);
-          } else {
-            remove_channel(ch);
-          }
-        });
-  }
-}
-
-// ---------------------------------------------------------------------
-// Introspection
-// ---------------------------------------------------------------------
-
-std::int64_t ExpressRouter::subtree_count(const ip::ChannelId& channel) const {
-  auto it = channels_.find(channel);
-  if (it == channels_.end()) return 0;
-  std::int64_t total = 0;
-  for (const auto& [neighbor, entry] : it->second.downstream) {
-    total += entry.count;
-  }
-  return total;
-}
-
-std::optional<net::NodeId> ExpressRouter::upstream_of(
-    const ip::ChannelId& channel) const {
-  auto it = channels_.find(channel);
-  if (it == channels_.end() || it->second.upstream == net::kInvalidNode) {
-    return std::nullopt;
-  }
-  return it->second.upstream;
-}
-
-std::size_t ExpressRouter::management_state_bytes() const {
-  // §5.2 model: ~32 bytes per count record, one record per downstream
-  // neighbor plus one upstream record per channel, plus 8 bytes for a
-  // cached key; pending count activities cost a record each.
-  std::size_t bytes = 0;
-  for (const auto& [channel, state] : channels_) {
-    bytes += 32 * (state.downstream.size() + 1);
-    if (state.cached_key) bytes += 8;
-  }
-  bytes += 32 * pending_queries_.size();
-  bytes += 8 * key_registry_.size();
-  return bytes;
-}
-
-net::NodeId ExpressRouter::source_node(const ip::ChannelId& channel) const {
-  return network().node_of(channel.source).value_or(net::kInvalidNode);
-}
-
-sim::Duration ExpressRouter::upstream_rtt(std::uint32_t iface) const {
-  const net::LinkId link = network().topology().node(id()).interfaces.at(iface);
-  return network().topology().link(link).delay * 2;
-}
-
-std::optional<std::uint32_t> ExpressRouter::iface_toward(
-    net::NodeId neighbor) const {
-  if (auto direct = network().topology().interface_to(id(), neighbor)) {
-    return direct;
-  }
-  // LAN-attached neighbor: the path runs through the hub.
-  return network().routing().rpf_interface(id(), neighbor);
-}
-
-bool ExpressRouter::iface_is_lan(std::uint32_t iface) const {
-  const net::NodeId peer = network().topology().neighbor_via(id(), iface);
-  return network().topology().node(peer).kind == net::NodeKind::kLanHub;
-}
-
-std::uint64_t ExpressRouter::pending_key(const ip::ChannelId& channel,
-                                         ecmp::CountId count_id,
-                                         std::uint32_t query_seq) {
-  std::uint64_t x = std::hash<ip::ChannelId>{}(channel);
-  x ^= (static_cast<std::uint64_t>(count_id) << 32) ^ query_seq;
-  x ^= x >> 29;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 32;
-  return x;
 }
 
 }  // namespace express

@@ -1,40 +1,38 @@
-// The EXPRESS router: ECMP state machine + channel fast path.
+// The EXPRESS router: thin wiring over the layered ECMP stack.
 //
-// One class implements everything the paper asks of an on-tree router:
+// The router composes four modules, each owning one concern from the
+// paper, and implements only the protocol *reactions* that tie them
+// together:
 //
-//  * Distribution-tree maintenance (§3.2): a non-zero subscriberId Count
-//    from a neighbor is a join, zero is a leave; the router aggregates
-//    per-interface subscriber counts, installs/removes FIB entries, and
-//    propagates joins/leaves toward the source along the unicast RPF
-//    path. No rendezvous points, no flooding.
-//  * Generic counting (§3.1): CountQuery fan-out to downstream tree
-//    neighbors with the per-hop timeout decrement, Count aggregation,
-//    and partial replies on timeout. Routers may initiate queries
-//    themselves (network-layer resource counts never reach hosts).
-//  * Authenticated subscriptions (§3.2/§3.5): the source registers
-//    K(S,E) at its first-hop router; joins carry the key upstream until
-//    a router that knows it validates or rejects via CountResponse, and
-//    validated keys are cached so later joins are checked locally.
-//  * TCP/UDP transport modes (§3.2) per interface, neighbor discovery
-//    and keepalive (§3.3), route-change re-join with hysteresis (§3.2),
-//    subcast decapsulation (§2.1), and proactive counting (§6).
+//   ForwardingPlane    (express/forwarding)      §3.4 data fast path
+//   SubscriptionTable  (express/subscription)    §3.2/§3.5 hard state
+//   CountingEngine     (express/counting_engine) §3.1/§6 aggregation
+//   ecmp::Transport    (ecmp/transport)          §3.2/§3.3/§5.3 sessions
+//
+// A packet flows: Transport::receive() decodes and attributes it; the
+// router dispatches each message; membership transitions go through the
+// SubscriptionTable, whose returned effect structs the router turns
+// into FIB refreshes (ForwardingPlane), upstream Counts (Transport),
+// and observer callbacks; CountQuery fan-out and proactive drift timers
+// live in the CountingEngine, which replies through a Transport-backed
+// callback. The modules never include one another — the router is the
+// only place their vocabularies meet.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <memory>
 #include <optional>
 #include <unordered_map>
-#include <vector>
 
 #include "counting/error_curve.hpp"
-#include "ecmp/batcher.hpp"
-#include "ecmp/codec.hpp"
 #include "ecmp/count_id.hpp"
 #include "ecmp/messages.hpp"
 #include "ecmp/session.hpp"
+#include "ecmp/transport.hpp"
+#include "express/counting_engine.hpp"
 #include "express/fib.hpp"
+#include "express/forwarding.hpp"
+#include "express/subscription.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
 
@@ -69,6 +67,8 @@ struct RouterConfig {
   std::optional<sim::Duration> batch_window;
 };
 
+/// Unified router counters, aggregated on demand from the per-module
+/// stats (see forwarding_stats() et al. for the raw per-layer views).
 struct RouterStats {
   std::uint64_t subscribe_events = 0;     ///< downstream entries created
   std::uint64_t unsubscribe_events = 0;   ///< downstream entries removed
@@ -90,12 +90,6 @@ struct RouterStats {
   std::uint64_t key_registrations = 0;
 };
 
-/// Aggregate result of a count collection.
-struct CountResult {
-  std::int64_t count = 0;
-  bool complete = false;  ///< false when assembled from a partial timeout
-};
-
 class ExpressRouter : public net::Node {
  public:
   ExpressRouter(net::Network& network, net::NodeId id, RouterConfig config = {});
@@ -105,8 +99,12 @@ class ExpressRouter : public net::Node {
 
   /// Transport mode for an interface (default TCP, §3.2: TCP for core
   /// routers, UDP for edge interfaces with many end hosts).
-  void set_interface_mode(std::uint32_t iface, ecmp::Mode mode);
-  [[nodiscard]] ecmp::Mode interface_mode(std::uint32_t iface) const;
+  void set_interface_mode(std::uint32_t iface, ecmp::Mode mode) {
+    transport_.set_mode(iface, mode);
+  }
+  [[nodiscard]] ecmp::Mode interface_mode(std::uint32_t iface) const {
+    return transport_.mode(iface);
+  }
 
   /// Router-initiated count (§3.1): any on-tree router can measure its
   /// subtree without source cooperation, e.g. a transit domain's ingress
@@ -116,20 +114,70 @@ class ExpressRouter : public net::Node {
                       std::function<void(CountResult)> done);
 
   // --- Introspection for tests, benches, and operators ---------------
-  [[nodiscard]] const Fib& fib() const { return fib_; }
-  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+  [[nodiscard]] const Fib& fib() const { return forwarding_.fib(); }
+  /// Unified view across the modules; see the per-module accessors for
+  /// layer-local counters.
+  [[nodiscard]] RouterStats stats() const {
+    const SubscriptionStats& sub = table_.stats();
+    const ecmp::TransportStats& wire = transport_.stats();
+    const ForwardingStats& fwd = forwarding_.stats();
+    RouterStats s;
+    s.subscribe_events = sub.subscribe_events;
+    s.unsubscribe_events = sub.unsubscribe_events;
+    s.joins_sent = sub.joins_sent;
+    s.prunes_sent = sub.prunes_sent;
+    s.auth_rejects = sub.auth_rejects;
+    s.key_registrations = sub.key_registrations;
+    s.counts_received = wire.counts_received;
+    s.counts_sent = wire.counts_sent;
+    s.queries_received = wire.queries_received;
+    s.queries_sent = wire.queries_sent;
+    s.responses_sent = wire.responses_sent;
+    s.responses_received = wire.responses_received;
+    s.control_bytes_sent = wire.control_bytes_sent;
+    s.control_bytes_received = wire.control_bytes_received;
+    s.proactive_updates_sent = counting_.stats().proactive_updates_sent;
+    s.data_packets_forwarded = fwd.data_packets_forwarded;
+    s.data_copies_sent = fwd.data_copies_sent;
+    s.subcasts_relayed = fwd.subcasts_relayed;
+    return s;
+  }
+  [[nodiscard]] const ForwardingStats& forwarding_stats() const {
+    return forwarding_.stats();
+  }
+  [[nodiscard]] const SubscriptionStats& subscription_stats() const {
+    return table_.stats();
+  }
+  [[nodiscard]] const CountingStats& counting_stats() const {
+    return counting_.stats();
+  }
+  [[nodiscard]] const ecmp::TransportStats& transport_stats() const {
+    return transport_.stats();
+  }
   [[nodiscard]] bool on_tree(const ip::ChannelId& channel) const {
-    return channels_.contains(channel);
+    return table_.contains(channel);
   }
   /// Current subscriber-count sum over downstream neighbors (the
   /// router's c_cur in the proactive-counting algorithm).
-  [[nodiscard]] std::int64_t subtree_count(const ip::ChannelId& channel) const;
-  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+  [[nodiscard]] std::int64_t subtree_count(const ip::ChannelId& channel) const {
+    return table_.subtree_count(channel);
+  }
+  [[nodiscard]] std::size_t channel_count() const {
+    return table_.channel_count();
+  }
   /// §5.2 management-level (non-fast-path) state estimate in bytes.
-  [[nodiscard]] std::size_t management_state_bytes() const;
+  [[nodiscard]] std::size_t management_state_bytes() const {
+    return table_.management_state_bytes() + 32 * counting_.pending_rounds();
+  }
   /// Upstream neighbor currently used for a channel, if joined.
   [[nodiscard]] std::optional<net::NodeId> upstream_of(
-      const ip::ChannelId& channel) const;
+      const ip::ChannelId& channel) const {
+    const Channel* state = table_.find(channel);
+    if (state == nullptr || state->upstream == net::kInvalidNode) {
+      return std::nullopt;
+    }
+    return state->upstream;
+  }
 
   /// Observer invoked whenever a channel's subtree count changes at this
   /// router; Fig. 8 samples this at the tree root.
@@ -140,41 +188,6 @@ class ExpressRouter : public net::Node {
   }
 
  private:
-  struct DownstreamEntry {
-    std::int64_t count = 0;
-    ip::ChannelKey key = ip::kNoKey;
-    bool validated = false;        ///< accepted (locally or by upstream)
-    sim::Time last_refresh{0};     ///< UDP-mode soft-state timestamp
-  };
-
-  struct ChannelState {
-    std::unordered_map<net::NodeId, DownstreamEntry> downstream;
-    std::optional<ip::ChannelKey> cached_key;  ///< validated K(S,E)
-    /// Key carried in our not-yet-validated upstream join: the upstream
-    /// verdict applies to exactly this key, so concurrently accepted
-    /// joins that presented a different key are re-validated separately.
-    std::optional<ip::ChannelKey> pending_sent_key;
-    bool validated_upstream = false;
-    std::int64_t advertised_upstream = 0;  ///< last Count sent up (0 = off-tree)
-    net::NodeId upstream = net::kInvalidNode;
-    std::uint32_t rpf_iface = 0;
-    std::optional<counting::ProactiveState> proactive;
-    sim::EventHandle proactive_check;
-    sim::EventHandle pending_switch;  ///< hysteresis timer for route change
-  };
-
-  struct PendingQuery {
-    ip::ChannelId channel;
-    ecmp::CountId count_id = ecmp::kSubscriberId;
-    std::uint32_t query_seq = 0;
-    std::optional<net::NodeId> requester;  ///< upstream; nullopt = local origin
-    std::int64_t sum = 0;
-    std::uint32_t outstanding = 0;
-    bool timed_out = false;
-    sim::EventHandle timer;
-    std::function<void(CountResult)> local_done;
-  };
-
   // --- message handling ----------------------------------------------
   void handle_ecmp(const net::Packet& packet, std::uint32_t in_iface);
   void on_count(const ecmp::Count& msg, net::NodeId from, std::uint32_t iface);
@@ -182,68 +195,71 @@ class ExpressRouter : public net::Node {
                 std::uint32_t iface);
   void on_response(const ecmp::CountResponse& msg, net::NodeId from);
   void on_key_register(const ecmp::KeyRegister& msg, net::NodeId from);
-  void forward_data(const net::Packet& packet, std::uint32_t in_iface);
-  void relay_subcast(const net::Packet& packet);
 
-  // --- subscription machinery ----------------------------------------
+  // --- subscription reactions ----------------------------------------
   void apply_subscriber_count(const ip::ChannelId& channel, net::NodeId from,
                               std::uint32_t iface, std::int64_t count,
                               std::optional<ip::ChannelKey> key);
-  void update_upstream(const ip::ChannelId& channel, ChannelState& state,
+  void update_upstream(const ip::ChannelId& channel, Channel& state,
                        std::optional<ip::ChannelKey> key_to_forward);
   void remove_channel(const ip::ChannelId& channel);
-  void refresh_fib(const ip::ChannelId& channel, ChannelState& state);
-  void evaluate_proactive(const ip::ChannelId& channel, ChannelState& state);
+  void refresh_fib(const ip::ChannelId& channel, const Channel& state);
+  void notify_total(const ip::ChannelId& channel) {
+    if (total_observer_) {
+      total_observer_(channel, table_.subtree_count(channel), network().now());
+    }
+  }
   /// Validation outcome flowing back down (CountResponse from upstream).
   void resolve_validation(const ip::ChannelId& channel, ecmp::Status status);
-  [[nodiscard]] bool key_acceptable(const ip::ChannelId& channel,
-                                    const ChannelState& state,
-                                    std::optional<ip::ChannelKey> key,
-                                    bool& locally_decidable) const;
+  /// §3.2: retransmit Counts for every channel upstream through `to`.
+  void reannounce_to(net::NodeId to);
+  [[nodiscard]] bool at_root(const ip::ChannelId& channel,
+                             const Channel& state) const;
 
-  // --- counting machinery ---------------------------------------------
+  // --- counting reactions --------------------------------------------
   void start_query(const ip::ChannelId& channel, ecmp::CountId count_id,
                    sim::Duration timeout, std::optional<net::NodeId> requester,
                    std::uint32_t query_seq,
                    std::function<void(CountResult)> local_done);
-  void finish_query(std::uint64_t key, bool timed_out);
-  [[nodiscard]] std::int64_t local_contribution(const ip::ChannelId& channel,
-                                                const ChannelState& state,
-                                                ecmp::CountId count_id) const;
+  /// Re-evaluate proactive drift; sends the update Count when due (§6).
+  void maybe_send_proactive(const ip::ChannelId& channel);
 
-  // --- transport -------------------------------------------------------
-  void send_message(net::NodeId neighbor, const ecmp::Message& msg);
-  void schedule_udp_refresh();
-  void udp_refresh_tick();
-  void schedule_neighbor_discovery();
-  void neighbor_discovery_tick();
+  // --- transport reactions -------------------------------------------
+  void send_count(net::NodeId to, const ip::ChannelId& channel,
+                  std::int64_t value, std::optional<ip::ChannelKey> key,
+                  ecmp::CountId count_id = ecmp::kSubscriberId,
+                  std::uint32_t query_seq = 0) {
+    transport_.send(to, ecmp::Count{channel, count_id, value, query_seq, key});
+  }
+  void send_response(net::NodeId to, const ip::ChannelId& channel,
+                     ecmp::Status status) {
+    transport_.send(
+        to, ecmp::CountResponse{channel, ecmp::kSubscriberId, status});
+  }
+  void send_query(net::NodeId to, const ip::ChannelId& channel,
+                  ecmp::CountId count_id, sim::Duration timeout,
+                  std::uint32_t query_seq) {
+    transport_.send(to,
+                    ecmp::CountQuery{channel, count_id, timeout, query_seq});
+  }
+  void udp_refresh_round();
   void neighbor_died(net::NodeId neighbor);
-  [[nodiscard]] net::NodeId source_node(const ip::ChannelId& channel) const;
-  [[nodiscard]] sim::Duration upstream_rtt(std::uint32_t iface) const;
-  /// Interface leading to `neighbor`: directly attached, or through a
-  /// LAN hub (resolved via the routing table).
-  [[nodiscard]] std::optional<std::uint32_t> iface_toward(
-      net::NodeId neighbor) const;
-  /// True if this interface attaches to a multi-access LAN segment.
-  [[nodiscard]] bool iface_is_lan(std::uint32_t iface) const;
 
-  [[nodiscard]] static std::uint64_t pending_key(const ip::ChannelId& channel,
-                                                 ecmp::CountId count_id,
-                                                 std::uint32_t query_seq);
+  // --- route changes --------------------------------------------------
+  void execute_route_switch(const ip::ChannelId& channel);
+
+  [[nodiscard]] net::NodeId source_node(const ip::ChannelId& channel) const {
+    return network().node_of(channel.source).value_or(net::kInvalidNode);
+  }
 
   RouterConfig config_;
-  Fib fib_;
-  RouterStats stats_;
-  std::unordered_map<ip::ChannelId, ChannelState> channels_;
-  /// Authoritative keys registered by directly attached sources.
-  std::unordered_map<ip::ChannelId, ip::ChannelKey> key_registry_;
-  std::unordered_map<std::uint64_t, PendingQuery> pending_queries_;
-  std::unordered_map<std::uint32_t, ecmp::Mode> iface_modes_;
-  ecmp::NeighborTable neighbors_;
-  std::unique_ptr<ecmp::Batcher> batcher_;  ///< §5.3 segment coalescing
+  ForwardingPlane forwarding_;
+  SubscriptionTable table_;
+  CountingEngine counting_;
+  ecmp::Transport transport_;
+  /// Hysteresis timers for pending upstream switches (§3.2).
+  std::unordered_map<ip::ChannelId, sim::EventHandle> pending_switches_;
   TotalObserver total_observer_;
-  std::uint32_t next_local_seq_ = 1;
-  bool udp_refresh_scheduled_ = false;
 };
 
 }  // namespace express

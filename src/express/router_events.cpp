@@ -1,0 +1,139 @@
+// ExpressRouter reactions to environment events — transport timers
+// (UDP soft-state refresh, neighbor death) and unicast route changes —
+// as opposed to the protocol message path in router.cpp.
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "express/router.hpp"
+#include "net/adjacency.hpp"
+
+namespace express {
+
+// ---------------------------------------------------------------------
+// Transport reactions
+// ---------------------------------------------------------------------
+
+void ExpressRouter::udp_refresh_round() {
+  const std::vector<UdpAction> actions = table_.udp_refresh_actions(
+      network(), id(), network().now(), transport_.policy().udp_lifetime(),
+      [this](std::uint32_t iface) {
+        return transport_.mode(iface) == ecmp::Mode::kUdp;
+      });
+  for (const UdpAction& action : actions) {
+    switch (action.kind) {
+      case UdpAction::Kind::kUnicastQuery:
+        send_query(action.neighbor, action.channel, ecmp::kSubscriberId,
+                   transport_.policy().udp_reply_timeout(), 0);
+        break;
+      case UdpAction::Kind::kLanQuery:
+        transport_.send_lan_query(
+            action.iface,
+            ecmp::CountQuery{action.channel, ecmp::kSubscriberId,
+                             transport_.policy().udp_reply_timeout(), 0});
+        break;
+      case UdpAction::Kind::kExpire:
+        apply_subscriber_count(action.channel, action.neighbor, action.iface,
+                               0, std::nullopt);
+        break;
+    }
+  }
+}
+
+void ExpressRouter::neighbor_died(net::NodeId neighbor) {
+  // §3.2 TCP mode: the count associated with a failed connection is
+  // subtracted from the sum provided upstream.
+  std::vector<ip::ChannelId> affected;
+  for (const auto& [channel, state] : table_.channels()) {
+    if (state.downstream.contains(neighbor)) affected.push_back(channel);
+  }
+  for (const ip::ChannelId& channel : affected) {
+    auto iface = network().topology().interface_to(id(), neighbor);
+    apply_subscriber_count(channel, neighbor, iface.value_or(0), 0,
+                           std::nullopt);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Route changes (§3.2)
+// ---------------------------------------------------------------------
+
+void ExpressRouter::on_routing_change() {
+  // First, drop downstream entries whose link died (connection reset).
+  for (const auto& [channel, neighbor] :
+       table_.collect_dead_children(network(), id())) {
+    auto iface = net::iface_toward(network(), id(), neighbor);
+    apply_subscriber_count(channel, neighbor, iface.value_or(0), 0,
+                           std::nullopt);
+  }
+
+  // Then re-evaluate the upstream of every remaining channel, with
+  // hysteresis to damp oscillation (§3.2).
+  for (auto& [channel, state] : table_.channels()) {
+    const net::NodeId src = source_node(channel);
+    if (src == net::kInvalidNode) continue;
+
+    // A dead upstream link resets the ECMP connection: the peer is
+    // subtracting our count right now, so our advertisement is void.
+    if (state.upstream != net::kInvalidNode &&
+        state.advertised_upstream > 0) {
+      auto up_iface = network().topology().interface_to(id(), state.upstream);
+      if (up_iface) {
+        const net::LinkId link =
+            network().topology().node(id()).interfaces.at(*up_iface);
+        if (!network().topology().link(link).up) {
+          state.advertised_upstream = 0;
+        }
+      }
+    }
+
+    auto new_up = network().routing().rpf_neighbor(id(), src);
+    if (!new_up || *new_up == state.upstream) {
+      if (auto it = pending_switches_.find(channel);
+          it != pending_switches_.end()) {
+        it->second.cancel();
+        pending_switches_.erase(it);
+      }
+      // Connection re-established with the same upstream after an
+      // outage: re-announce (§3.2 unsolicited Counts on establishment).
+      if (new_up && state.advertised_upstream == 0 &&
+          state.subtree_count() > 0) {
+        update_upstream(channel, state, state.cached_key);
+      }
+      continue;
+    }
+    sim::EventHandle& handle = pending_switches_[channel];
+    if (handle.pending()) continue;  // already scheduled
+    const ip::ChannelId ch = channel;
+    handle = network().scheduler().schedule_after(
+        config_.route_change_hysteresis,
+        [this, ch]() { execute_route_switch(ch); });
+  }
+}
+
+void ExpressRouter::execute_route_switch(const ip::ChannelId& channel) {
+  pending_switches_.erase(channel);
+  Channel* state = table_.find(channel);
+  if (state == nullptr) return;
+  const net::NodeId src = source_node(channel);
+  if (src == net::kInvalidNode) return;
+  auto up = network().routing().rpf_neighbor(id(), src);
+  if (!up || *up == state->upstream) return;  // flap settled; stay put
+
+  const bool old_is_router =
+      state->upstream != net::kInvalidNode &&
+      network().topology().node(state->upstream).kind == net::NodeKind::kRouter;
+  const RouteSwitch sw = table_.apply_route_switch(
+      channel, *up, network().routing().rpf_interface(id(), src),
+      old_is_router);
+  // Zero Count to the old upstream, current Count to the new.
+  if (sw.prune_old) send_count(sw.old_upstream, channel, 0, std::nullopt);
+  refresh_fib(channel, *state);
+  if (sw.total > 0) {
+    update_upstream(channel, *state, state->cached_key);
+  } else {
+    remove_channel(channel);
+  }
+}
+
+}  // namespace express

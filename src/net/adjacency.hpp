@@ -1,0 +1,35 @@
+// Interface-resolution helpers shared by the control planes.
+//
+// "Which of my interfaces leads to neighbor N?" is pure topology +
+// routing knowledge, needed by the subscription table (FIB refresh,
+// UDP soft state), the ECMP transport (unicast sends), and tests.
+// Factored here so neither module re-implements — or depends on the
+// other for — the LAN-hub indirection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/network.hpp"
+
+namespace express::net {
+
+/// Interface of `self` leading to `neighbor`: directly attached, or
+/// through a LAN hub (resolved via the routing table).
+inline std::optional<std::uint32_t> iface_toward(const Network& network,
+                                                 NodeId self,
+                                                 NodeId neighbor) {
+  if (auto direct = network.topology().interface_to(self, neighbor)) {
+    return direct;
+  }
+  return network.routing().rpf_interface(self, neighbor);
+}
+
+/// True if this interface attaches to a multi-access LAN segment.
+inline bool iface_is_lan(const Network& network, NodeId self,
+                         std::uint32_t iface) {
+  const NodeId peer = network.topology().neighbor_via(self, iface);
+  return network.topology().node(peer).kind == NodeKind::kLanHub;
+}
+
+}  // namespace express::net

@@ -15,6 +15,7 @@
 
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "net/replicate.hpp"
 
 namespace express::net {
 
@@ -23,12 +24,10 @@ class LanHub : public Node {
   LanHub(Network& network, NodeId id) : Node(network, id) {}
 
   void handle_packet(const Packet& packet, std::uint32_t in_iface) override {
-    const auto ports = network().topology().interface_count(id());
-    for (std::uint32_t port = 0; port < ports; ++port) {
-      if (port == in_iface) continue;
-      Packet copy = packet;  // L2 repeat: no TTL change
-      network().send_on_interface(id(), port, std::move(copy));
-    }
+    ReplicateOptions opts;
+    opts.exclude_iface = in_iface;
+    opts.decrement_ttl = false;  // L2 repeat: no TTL change
+    replicate_all(network(), id(), packet, opts);
   }
 };
 

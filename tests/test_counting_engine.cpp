@@ -1,0 +1,156 @@
+// Unit tests for the count-aggregation engine (§3.1): per-hop timeout
+// decrement, inline resolution, child aggregation, and the partial
+// replies produced by a round that times out — all against a bare
+// scheduler, no network.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "express/counting_engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace express {
+namespace {
+
+const ip::ChannelId kCh{ip::Address(10, 0, 0, 1),
+                        ip::Address::single_source(1)};
+constexpr net::NodeId kParent = 5;
+
+struct Reply {
+  net::NodeId requester;
+  std::int64_t sum;
+  std::uint32_t query_seq;
+};
+
+/// A CountingEngine wired to recording callbacks.
+struct Harness {
+  Harness()
+      : engine(scheduler,
+               [this](net::NodeId requester, const ip::ChannelId&,
+                      ecmp::CountId, std::int64_t sum,
+                      std::uint32_t query_seq) {
+                 replies.push_back({requester, sum, query_seq});
+               },
+               [this](const ip::ChannelId&) { ++rechecks; }) {}
+
+  sim::Scheduler scheduler;
+  std::vector<Reply> replies;
+  int rechecks = 0;
+  CountingEngine engine;
+};
+
+TEST(CountingEngine, TimeoutDecrementClampsAtFloor) {
+  // Normal case: subtract rtt_multiple RTTs.
+  EXPECT_EQ(CountingEngine::decremented_timeout(
+                sim::seconds(1), sim::milliseconds(10), 2.0),
+            sim::milliseconds(980));
+  // Deep trees or slow links would drive the budget negative: the 10 ms
+  // floor keeps every hop a chance to answer.
+  EXPECT_EQ(CountingEngine::decremented_timeout(
+                sim::milliseconds(12), sim::milliseconds(10), 2.0),
+            sim::milliseconds(10));
+  EXPECT_EQ(CountingEngine::decremented_timeout(
+                sim::milliseconds(5), sim::milliseconds(100), 2.0),
+            sim::milliseconds(10));
+}
+
+TEST(CountingEngine, NoChildrenResolvesInline) {
+  Harness h;
+  std::optional<CountResult> result;
+  EXPECT_FALSE(h.engine.start_round(kCh, ecmp::kSubscriberId, sim::seconds(1),
+                                    std::nullopt, 1, /*local=*/7,
+                                    /*children=*/0,
+                                    [&](CountResult r) { result = r; }));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->count, 7);
+  EXPECT_TRUE(result->complete);
+  EXPECT_EQ(h.engine.pending_rounds(), 0u);
+
+  // With an upstream requester the inline reply goes there instead.
+  EXPECT_FALSE(h.engine.start_round(kCh, ecmp::kSubscriberId, sim::seconds(1),
+                                    kParent, 2, 3, 0, nullptr));
+  ASSERT_EQ(h.replies.size(), 1u);
+  EXPECT_EQ(h.replies[0].requester, kParent);
+  EXPECT_EQ(h.replies[0].sum, 3);
+  EXPECT_EQ(h.replies[0].query_seq, 2u);
+}
+
+TEST(CountingEngine, AbsorbingAllChildrenCompletesTheRound) {
+  Harness h;
+  ASSERT_TRUE(h.engine.start_round(kCh, ecmp::kSubscriberId, sim::seconds(1),
+                                   kParent, 9, /*local=*/1, /*children=*/2,
+                                   nullptr));
+  EXPECT_EQ(h.engine.pending_rounds(), 1u);
+  EXPECT_TRUE(h.engine.absorb(kCh, ecmp::kSubscriberId, 9, 10));
+  EXPECT_TRUE(h.replies.empty());  // one child still outstanding
+  EXPECT_TRUE(h.engine.absorb(kCh, ecmp::kSubscriberId, 9, 100));
+
+  ASSERT_EQ(h.replies.size(), 1u);
+  EXPECT_EQ(h.replies[0].sum, 111);
+  EXPECT_EQ(h.engine.pending_rounds(), 0u);
+  EXPECT_EQ(h.engine.stats().rounds_completed, 1u);
+  EXPECT_EQ(h.engine.stats().rounds_timed_out, 0u);
+}
+
+TEST(CountingEngine, TimeoutProducesPartialSumAndRejectsLateReplies) {
+  Harness h;
+  std::optional<CountResult> result;
+  ASSERT_TRUE(h.engine.start_round(kCh, ecmp::kSubscriberId,
+                                   sim::milliseconds(100), std::nullopt, 9,
+                                   /*local=*/1, /*children=*/2,
+                                   [&](CountResult r) { result = r; }));
+  EXPECT_TRUE(h.engine.absorb(kCh, ecmp::kSubscriberId, 9, 10));
+
+  // The second child never answers: the timer fires a partial result.
+  h.scheduler.run_until(sim::Time{} + sim::seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->count, 11);
+  EXPECT_FALSE(result->complete);
+  EXPECT_EQ(h.engine.stats().rounds_timed_out, 1u);
+
+  // A straggler reply after the timeout finds no round to join.
+  EXPECT_FALSE(h.engine.absorb(kCh, ecmp::kSubscriberId, 9, 100));
+  EXPECT_EQ(h.engine.pending_rounds(), 0u);
+}
+
+TEST(CountingEngine, DistinctSequencesAreIndependentRounds) {
+  Harness h;
+  ASSERT_TRUE(h.engine.start_round(kCh, ecmp::kSubscriberId, sim::seconds(1),
+                                   kParent, 1, 0, 1, nullptr));
+  ASSERT_TRUE(h.engine.start_round(kCh, ecmp::kSubscriberId, sim::seconds(1),
+                                   kParent, 2, 0, 1, nullptr));
+  EXPECT_EQ(h.engine.pending_rounds(), 2u);
+  EXPECT_TRUE(h.engine.absorb(kCh, ecmp::kSubscriberId, 2, 42));
+  ASSERT_EQ(h.replies.size(), 1u);
+  EXPECT_EQ(h.replies[0].query_seq, 2u);
+  EXPECT_EQ(h.replies[0].sum, 42);
+  EXPECT_EQ(h.engine.pending_rounds(), 1u);
+}
+
+TEST(CountingEngine, ProactiveHoldsUntilValidatedThenRechecks) {
+  Harness h;
+  counting::CurveParams params;
+  h.engine.enable_proactive(kCh, params);
+  EXPECT_TRUE(h.engine.proactive_enabled(kCh));
+
+  // Unvalidated upstream: never send now, re-check shortly instead.
+  EXPECT_FALSE(h.engine.evaluate(kCh, 5, /*validated_upstream=*/false));
+  h.scheduler.run_until(sim::Time{} + sim::seconds(1));
+  EXPECT_EQ(h.rechecks, 1);
+
+  // A channel without proactive state never asks to send.
+  const ip::ChannelId other{ip::Address(10, 0, 0, 2),
+                            ip::Address::single_source(2)};
+  EXPECT_FALSE(h.engine.evaluate(other, 5, true));
+
+  // Teardown cancels the recheck timer.
+  EXPECT_FALSE(h.engine.evaluate(kCh, 5, false));
+  h.engine.erase_channel(kCh);
+  EXPECT_FALSE(h.engine.proactive_enabled(kCh));
+  h.scheduler.run_until(sim::Time{} + sim::seconds(2));
+  EXPECT_EQ(h.rechecks, 1);
+}
+
+}  // namespace
+}  // namespace express

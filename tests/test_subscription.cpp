@@ -1,0 +1,222 @@
+// Unit tests for the subscription hard state (§3.2, §3.5): membership
+// transitions, upstream join/prune planning, and the K(S,E)
+// authentication cache — all exercised without a running simulation,
+// which is the point of the module seam.
+#include <gtest/gtest.h>
+
+#include "express/subscription.hpp"
+
+namespace express {
+namespace {
+
+const ip::ChannelId kCh{ip::Address(10, 0, 0, 1),
+                        ip::Address::single_source(1)};
+constexpr ip::ChannelKey kKeyA = 0xAAAA;
+constexpr ip::ChannelKey kKeyB = 0xBBBB;
+constexpr net::NodeId kChild1 = 11;
+constexpr net::NodeId kChild2 = 12;
+constexpr net::NodeId kUpstream = 20;
+
+TEST(Subscription, JoinAndLeaveLifecycle) {
+  SubscriptionTable table;
+  bool created = false;
+  Channel& state = table.get_or_create(kCh, created);
+  EXPECT_TRUE(created);
+
+  bool is_new = false;
+  table.apply_join(state, kChild1, 3, std::nullopt, /*decidable=*/true,
+                   sim::Time{0}, is_new);
+  EXPECT_TRUE(is_new);
+  EXPECT_EQ(table.subtree_count(kCh), 3);
+  EXPECT_EQ(table.stats().subscribe_events, 1u);
+
+  // A count update on the same session is not a new subscribe event.
+  table.apply_join(state, kChild1, 5, std::nullopt, true, sim::Time{0}, is_new);
+  EXPECT_FALSE(is_new);
+  EXPECT_EQ(table.subtree_count(kCh), 5);
+  EXPECT_EQ(table.stats().subscribe_events, 1u);
+
+  EXPECT_TRUE(table.remove_downstream(kCh, kChild1));
+  EXPECT_FALSE(table.remove_downstream(kCh, kChild1));
+  EXPECT_EQ(table.stats().unsubscribe_events, 1u);
+  EXPECT_EQ(table.subtree_count(kCh), 0);
+}
+
+TEST(Subscription, RegisteredKeyDecidesLocally) {
+  SubscriptionTable table;
+  table.register_key(kCh, kKeyA);
+  bool created = false;
+  Channel& state = table.get_or_create(kCh, created);
+
+  bool decidable = false;
+  EXPECT_TRUE(table.key_acceptable(kCh, state, kKeyA, /*at_root=*/true,
+                                   decidable));
+  EXPECT_TRUE(decidable);
+  EXPECT_FALSE(table.key_acceptable(kCh, state, kKeyB, true, decidable));
+  EXPECT_TRUE(decidable);
+  EXPECT_FALSE(table.key_acceptable(kCh, state, std::nullopt, true, decidable));
+
+  // A locally decided rejection on a just-created channel removes it.
+  table.reject_join(kCh, /*created=*/true);
+  EXPECT_FALSE(table.contains(kCh));
+  EXPECT_EQ(table.stats().auth_rejects, 1u);
+}
+
+TEST(Subscription, ValidatedKeyIsCachedThenEvictedWithChannel) {
+  SubscriptionTable table;
+  bool created = false;
+  Channel& state = table.get_or_create(kCh, created);
+
+  // Not at the root and nothing cached: the join is tentatively
+  // accepted and must go upstream carrying its key.
+  bool decidable = true;
+  EXPECT_TRUE(table.key_acceptable(kCh, state, kKeyA, /*at_root=*/false,
+                                   decidable));
+  EXPECT_FALSE(decidable);
+  bool is_new = false;
+  table.apply_join(state, kChild1, 1, kKeyA, decidable, sim::Time{0}, is_new);
+
+  const UpstreamPlan plan = table.plan_upstream_update(
+      kCh, state, kKeyA, /*upstream_is_router=*/true);
+  EXPECT_EQ(plan.send, UpstreamSend::kJoin);
+  ASSERT_TRUE(plan.key.has_value());
+  EXPECT_EQ(*plan.key, kKeyA);
+
+  // The upstream accepts: the forwarded key becomes the cached K(S,E)
+  // and the pending child is acknowledged.
+  const VerdictEffects ok = table.apply_upstream_verdict(kCh, true);
+  ASSERT_EQ(ok.accept.size(), 1u);
+  EXPECT_EQ(ok.accept[0], kChild1);
+  ASSERT_TRUE(state.cached_key.has_value());
+  EXPECT_EQ(*state.cached_key, kKeyA);
+
+  // Subsequent joins validate against the cache, locally.
+  EXPECT_TRUE(table.key_acceptable(kCh, state, kKeyA, false, decidable));
+  EXPECT_TRUE(decidable);
+  EXPECT_FALSE(table.key_acceptable(kCh, state, kKeyB, false, decidable));
+  EXPECT_TRUE(decidable);
+
+  // Channel teardown evicts the cached key: a re-created channel starts
+  // undecided again (the cache never outlives the hard state, §3.5).
+  table.erase(kCh);
+  Channel& fresh = table.get_or_create(kCh, created);
+  EXPECT_TRUE(created);
+  EXPECT_FALSE(fresh.cached_key.has_value());
+  EXPECT_TRUE(table.key_acceptable(kCh, fresh, kKeyB, false, decidable));
+  EXPECT_FALSE(decidable);
+}
+
+TEST(Subscription, InvalidVerdictRejectsSentKeyAndRetriesOther) {
+  SubscriptionTable table;
+  bool created = false;
+  Channel& state = table.get_or_create(kCh, created);
+  state.upstream = kUpstream;
+
+  bool is_new = false;
+  table.apply_join(state, kChild1, 1, kKeyA, /*decidable=*/false, sim::Time{0},
+                   is_new);
+  table.plan_upstream_update(kCh, state, kKeyA, true);  // pending key = A
+  table.apply_join(state, kChild2, 1, kKeyB, false, sim::Time{0}, is_new);
+
+  // Upstream rejects key A: only the child that presented A is evicted;
+  // the other key deserves its own upstream attempt.
+  const VerdictEffects fx = table.apply_upstream_verdict(kCh, false);
+  ASSERT_EQ(fx.reject.size(), 1u);
+  EXPECT_EQ(fx.reject[0], kChild1);
+  EXPECT_TRUE(fx.membership_changed);
+  EXPECT_FALSE(fx.channel_gone);
+  ASSERT_TRUE(fx.rejoin);
+  ASSERT_TRUE(fx.rejoin_key.has_value());
+  EXPECT_EQ(*fx.rejoin_key, kKeyB);
+  EXPECT_EQ(state.advertised_upstream, 0);
+  EXPECT_EQ(table.stats().auth_rejects, 1u);
+
+  // A second rejection (of key B) empties the channel.
+  table.plan_upstream_update(kCh, state, kKeyB, true);
+  const VerdictEffects gone = table.apply_upstream_verdict(kCh, false);
+  ASSERT_EQ(gone.reject.size(), 1u);
+  EXPECT_EQ(gone.reject[0], kChild2);
+  EXPECT_TRUE(gone.channel_gone);
+  EXPECT_FALSE(gone.rejoin);
+}
+
+TEST(Subscription, PlanJoinPruneAndDrift) {
+  SubscriptionTable table;
+  bool created = false;
+  Channel& state = table.get_or_create(kCh, created);
+  state.upstream = kUpstream;
+
+  bool is_new = false;
+  table.apply_join(state, kChild1, 2, std::nullopt, true, sim::Time{0}, is_new);
+  UpstreamPlan plan = table.plan_upstream_update(kCh, state, std::nullopt, true);
+  EXPECT_EQ(plan.send, UpstreamSend::kJoin);
+  EXPECT_EQ(plan.total, 2);
+  EXPECT_EQ(state.advertised_upstream, 2);
+  EXPECT_EQ(table.stats().joins_sent, 1u);
+
+  // The aggregate moves without crossing zero: drift, not join/prune.
+  table.apply_join(state, kChild1, 4, std::nullopt, true, sim::Time{0}, is_new);
+  plan = table.plan_upstream_update(kCh, state, std::nullopt, true);
+  EXPECT_EQ(plan.send, UpstreamSend::kDrift);
+  EXPECT_FALSE(plan.remove_channel);
+
+  table.remove_downstream(kCh, kChild1);
+  plan = table.plan_upstream_update(kCh, state, std::nullopt, true);
+  EXPECT_EQ(plan.send, UpstreamSend::kPrune);
+  EXPECT_TRUE(plan.remove_channel);
+  EXPECT_EQ(state.advertised_upstream, 0);
+  EXPECT_EQ(table.stats().prunes_sent, 1u);
+}
+
+TEST(Subscription, RootPlanNeverSendsUpstream) {
+  SubscriptionTable table;
+  bool created = false;
+  Channel& state = table.get_or_create(kCh, created);
+
+  bool is_new = false;
+  table.apply_join(state, kChild1, 1, std::nullopt, true, sim::Time{0}, is_new);
+  UpstreamPlan plan = table.plan_upstream_update(
+      kCh, state, std::nullopt, /*upstream_is_router=*/false);
+  EXPECT_EQ(plan.send, UpstreamSend::kNone);
+  EXPECT_TRUE(state.validated_upstream);
+  EXPECT_FALSE(plan.remove_channel);
+
+  table.remove_downstream(kCh, kChild1);
+  plan = table.plan_upstream_update(kCh, state, std::nullopt, false);
+  EXPECT_TRUE(plan.remove_channel);
+}
+
+TEST(Subscription, RefreshFastPathOnlyForValidatedSessions) {
+  SubscriptionTable table;
+  bool created = false;
+  Channel& state = table.get_or_create(kCh, created);
+
+  EXPECT_FALSE(table.refresh_existing(kCh, kChild1, 2, sim::Time{0}));
+
+  bool is_new = false;
+  DownstreamEntry& entry = table.apply_join(state, kChild1, 1, std::nullopt,
+                                            /*decidable=*/false, sim::Time{0},
+                                            is_new);
+  // Unvalidated entries must take the slow (re-validating) path.
+  EXPECT_FALSE(table.refresh_existing(kCh, kChild1, 2, sim::Time{0}));
+  entry.validated = true;
+  EXPECT_TRUE(table.refresh_existing(kCh, kChild1, 2, sim::Time{0}));
+  EXPECT_EQ(table.subtree_count(kCh), 2);
+}
+
+TEST(Subscription, ManagementStateAccounting) {
+  SubscriptionTable table;
+  bool created = false;
+  Channel& state = table.get_or_create(kCh, created);
+  bool is_new = false;
+  table.apply_join(state, kChild1, 1, std::nullopt, true, sim::Time{0}, is_new);
+  // One downstream record + the upstream record = 64 bytes (§5.2).
+  EXPECT_EQ(table.management_state_bytes(), 64u);
+  state.cached_key = kKeyA;
+  EXPECT_EQ(table.management_state_bytes(), 72u);
+  table.register_key(kCh, kKeyA);
+  EXPECT_EQ(table.management_state_bytes(), 80u);
+}
+
+}  // namespace
+}  // namespace express

@@ -1,0 +1,170 @@
+// Unit tests for the ECMP session transport (§3.2, §3.3, §5.3):
+// message classification, interface modes, the UDP refresh clock,
+// segment batching, partition behavior, and a TCP session torn down in
+// the middle of a count collection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ecmp/transport.hpp"
+#include "express/testbed.hpp"
+#include "net/network.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace express::ecmp {
+namespace {
+
+const ip::ChannelId kCh{ip::Address(10, 0, 0, 1),
+                        ip::Address::single_source(1)};
+
+/// A node that feeds every inbound packet to its Transport.
+class EcmpNode : public net::Node {
+ public:
+  EcmpNode(net::Network& network, net::NodeId id,
+           TransportPolicy policy = {}, TransportHooks hooks = {})
+      : net::Node(network, id),
+        transport(network, id, policy, std::move(hooks)) {}
+  void handle_packet(const net::Packet& packet, std::uint32_t iface) override {
+    deliveries.push_back(transport.receive(packet, iface));
+  }
+  Transport transport;
+  std::vector<Delivery> deliveries;
+};
+
+struct Pair {
+  explicit Pair(TransportPolicy policy = {}, TransportHooks hooks_a = {}) {
+    net::Topology topo;
+    const net::NodeId ia = topo.add_router();
+    const net::NodeId ib = topo.add_router();
+    topo.add_link(ia, ib, sim::milliseconds(1));
+    network = std::make_unique<net::Network>(std::move(topo));
+    a = &network->attach<EcmpNode>(ia, policy, std::move(hooks_a));
+    b = &network->attach<EcmpNode>(ib);
+  }
+  std::unique_ptr<net::Network> network;
+  EcmpNode* a = nullptr;
+  EcmpNode* b = nullptr;
+};
+
+TEST(Transport, ClassifiesSentAndReceivedByType) {
+  Pair pair;
+  pair.a->transport.send(pair.b->id(), Count{kCh, kSubscriberId, 3, 0, {}});
+  pair.a->transport.send(pair.b->id(),
+                         CountQuery{kCh, kSubscriberId, sim::seconds(1), 7});
+  pair.a->transport.send(pair.b->id(),
+                         CountResponse{kCh, kSubscriberId, Status::kOk});
+  pair.network->run();
+
+  const TransportStats& sent = pair.a->transport.stats();
+  EXPECT_EQ(sent.counts_sent, 1u);
+  EXPECT_EQ(sent.queries_sent, 1u);
+  EXPECT_EQ(sent.responses_sent, 1u);
+  EXPECT_GT(sent.control_bytes_sent, 0u);
+
+  const TransportStats& recv = pair.b->transport.stats();
+  EXPECT_EQ(recv.counts_received, 1u);
+  EXPECT_EQ(recv.queries_received, 1u);
+  EXPECT_EQ(recv.responses_received, 1u);
+  EXPECT_EQ(recv.control_bytes_received, sent.control_bytes_sent);
+
+  ASSERT_EQ(pair.b->deliveries.size(), 3u);
+  EXPECT_EQ(pair.b->deliveries[0].from, pair.a->id());
+}
+
+TEST(Transport, SharedSequenceCounterIsMonotonic) {
+  Pair pair;
+  EXPECT_EQ(pair.a->transport.next_seq(), 1u);
+  EXPECT_EQ(pair.a->transport.next_seq(), 2u);
+  EXPECT_EQ(pair.a->transport.next_seq(), 3u);
+}
+
+TEST(Transport, InterfacesDefaultToTcpMode) {
+  Pair pair;
+  EXPECT_EQ(pair.a->transport.mode(0), Mode::kTcp);
+  EXPECT_EQ(pair.a->transport.mode(99), Mode::kTcp);
+}
+
+TEST(Transport, UdpModeStartsTheRefreshClock) {
+  TransportPolicy policy;
+  policy.udp_query_interval = sim::milliseconds(100);
+  int rounds = 0;
+  TransportHooks hooks;
+  hooks.udp_refresh_round = [&]() { ++rounds; };
+  Pair pair(policy, std::move(hooks));
+
+  pair.a->transport.set_mode(0, Mode::kUdp);
+  EXPECT_EQ(pair.a->transport.mode(0), Mode::kUdp);
+  pair.network->run_until(sim::milliseconds(350));
+  EXPECT_EQ(rounds, 3);
+}
+
+TEST(Transport, BatchWindowCoalescesMessagesIntoOneSegment) {
+  TransportPolicy policy;
+  policy.batch_window = sim::milliseconds(5);
+  Pair pair(policy);
+
+  for (std::int64_t i = 0; i < 3; ++i) {
+    pair.a->transport.send(pair.b->id(), Count{kCh, kSubscriberId, i, 0, {}});
+  }
+  pair.network->run();
+
+  // §5.3: three messages, one wire segment, one delivery.
+  EXPECT_EQ(pair.a->transport.segments_sent(), 1u);
+  ASSERT_EQ(pair.b->deliveries.size(), 1u);
+  EXPECT_EQ(pair.b->deliveries[0].messages.size(), 3u);
+  EXPECT_EQ(pair.b->transport.stats().counts_received, 3u);
+}
+
+TEST(Transport, UnreachableNeighborDropsAfterByteAccounting) {
+  // Two routers with no connecting link: a partition. The send is
+  // accounted (the bytes hit the failed TCP write) but nothing arrives.
+  net::Topology topo;
+  const net::NodeId ia = topo.add_router();
+  const net::NodeId ib = topo.add_router();
+  net::Network network(std::move(topo));
+  auto& a = network.attach<EcmpNode>(ia);
+  auto& b = network.attach<EcmpNode>(ib);
+
+  a.transport.send(ib, Count{kCh, kSubscriberId, 1, 0, {}});
+  network.run();
+  EXPECT_EQ(a.transport.stats().counts_sent, 1u);
+  EXPECT_GT(a.transport.stats().control_bytes_sent, 0u);
+  EXPECT_TRUE(b.deliveries.empty());
+}
+
+TEST(Transport, TcpTeardownMidQueryYieldsPartialCount) {
+  // Binary tree, one subscriber in each half. The root's count query
+  // fans to both subtrees; the link to the right subtree dies before
+  // the reply can return, so the root's round times out and reports a
+  // partial (complete = false) result covering only the left half.
+  Testbed bed(workload::make_kary_tree(2, 2));
+  const ip::ChannelId ch = bed.source().allocate_channel();
+  bed.receiver(0).new_subscription(ch);
+  bed.receiver(3).new_subscription(ch);
+  bed.run_for(sim::seconds(1));
+  ASSERT_EQ(bed.source_router().subtree_count(ch), 2);
+
+  const net::NodeId root = bed.roles().source_router;
+  const net::NodeId right = bed.roles().routers[2];
+  auto iface = bed.net().topology().interface_to(root, right);
+  ASSERT_TRUE(iface.has_value());
+  const net::LinkId link =
+      bed.net().topology().node(root).interfaces.at(*iface);
+
+  std::optional<CountResult> result;
+  bed.source_router().initiate_count(
+      ch, kSubscriberId, sim::milliseconds(500),
+      [&](CountResult r) { result = r; });
+  bed.net().set_link_up(link, false);
+  bed.run_for(sim::seconds(3));
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);
+  EXPECT_EQ(result->count, 1);
+  EXPECT_GE(bed.source_router().counting_stats().rounds_timed_out, 1u);
+}
+
+}  // namespace
+}  // namespace express::ecmp
