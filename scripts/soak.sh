@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Chaos-soak gate: run the seeded fault-injection campaign under the
+# invariant auditor and require a fully clean outcome — at least 200
+# faults injected, zero invariant violations, zero unconverged faults.
+#
+# Usage:
+#   scripts/soak.sh [path/to/soak_chaos] [path/to/result.json]
+#
+# With no arguments it expects build/bench/soak_chaos to exist (run
+# cmake --build build first) and writes the fresh result to a temporary
+# file. Pass an existing result JSON as the second argument to skip the
+# campaign run (e.g. in CI where the run already happened).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+soak_bin="${1:-$repo_root/build/bench/soak_chaos}"
+result="${2:-}"
+
+if [[ -z "$result" ]]; then
+  if [[ ! -x "$soak_bin" ]]; then
+    echo "soak: campaign binary not found: $soak_bin" >&2
+    echo "soak: build it first (cmake --build build --target soak_chaos)" >&2
+    exit 2
+  fi
+  result="$(mktemp /tmp/soak_chaos.XXXXXX.json)"
+  trap 'rm -f "$result"' EXIT
+  echo "soak: running $soak_bin ..."
+  # The binary exits non-zero on violations; let the JSON check below
+  # produce the diagnostic instead of dying on the raw exit code.
+  (cd "$repo_root" && "$soak_bin" --faults 200 --out "$result") || true
+fi
+
+python3 - "$result" <<'EOF'
+import json
+import sys
+
+MIN_FAULTS = 200
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+faults = report["faults"]
+violations = report["violations"]
+unconverged = report["unconverged"]
+audits = report["audits_run"]
+
+failures = []
+if faults < MIN_FAULTS:
+    failures.append(f"only {faults} faults injected (need >= {MIN_FAULTS})")
+if violations != 0:
+    failures.append(f"{violations} invariant violations")
+if unconverged != 0:
+    failures.append(f"{unconverged} faults never reached audit-clean")
+if audits <= faults:
+    failures.append(f"campaign trivially idle ({audits} audits for {faults} faults)")
+
+print(f"soak: {faults} faults, {audits} audits, "
+      f"{violations} violations, {unconverged} unconverged, "
+      f"max convergence {report['max_convergence_s']:.3f} s, "
+      f"mean {report['mean_convergence_s']:.3f} s")
+for outcome in report.get("per_fault", []):
+    if outcome["violations"] or not outcome["converged"]:
+        print(f"soak:   fault {outcome['index']} ({outcome['kind']}): "
+              f"violations={outcome['violations']} "
+              f"converged={outcome['converged']}")
+
+if failures:
+    print(f"soak: FAIL ({'; '.join(failures)})")
+    sys.exit(1)
+print("soak: PASS")
+EOF

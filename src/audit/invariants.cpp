@@ -1,0 +1,297 @@
+#include "audit/invariants.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "express/host.hpp"
+#include "express/router.hpp"
+#include "express/subscription.hpp"
+#include "net/adjacency.hpp"
+#include "net/network.hpp"
+
+namespace express::audit {
+
+namespace {
+
+struct Walk {
+  const net::Network* network = nullptr;
+  std::unordered_map<net::NodeId, const ExpressRouter*> routers;
+  std::unordered_map<net::NodeId, const ExpressHost*> hosts;
+  AuditReport report;
+
+  void flag(Check check, net::NodeId router, const ip::ChannelId& channel,
+            std::string detail) {
+    report.violations.push_back(
+        Violation{check, router, channel, std::move(detail)});
+  }
+};
+
+bool is_router_node(const net::Network& network, net::NodeId id) {
+  return network.topology().node(id).kind == net::NodeKind::kRouter;
+}
+
+/// Mirror of ExpressRouter::at_root: the router is the channel's
+/// validation authority / tree root when the source is unresolvable,
+/// directly attached (upstream is a non-router), or unroutable.
+bool at_root(const Walk& w, net::NodeId self, const ip::ChannelId& channel,
+             const Channel& state) {
+  const auto src = w.network->node_of(channel.source);
+  if (!src) return true;
+  if (state.upstream != net::kInvalidNode &&
+      !is_router_node(*w.network, state.upstream)) {
+    return true;
+  }
+  return w.network->routing().rpf_neighbor(self, *src) == std::nullopt;
+}
+
+// --- (a) count conservation ------------------------------------------
+
+void check_conservation(Walk& w, net::NodeId self, const ExpressRouter& router,
+                        const ip::ChannelId& channel, const Channel& state) {
+  // Parent side: each downstream entry must restate what the child
+  // itself currently claims.
+  for (const auto& [neighbor, entry] : state.downstream) {
+    ++w.report.edges_checked;
+    if (auto it = w.routers.find(neighbor); it != w.routers.end()) {
+      const Channel* child = it->second->subscriptions().find(channel);
+      if (child == nullptr) {
+        w.flag(Check::kCountConservation, self, channel,
+               "downstream entry for router " + std::to_string(neighbor) +
+                   " (count " + std::to_string(entry.count) +
+                   ") but the child is off-tree");
+        continue;
+      }
+      if (child->upstream != self) {
+        w.flag(Check::kCountConservation, self, channel,
+               "downstream entry for router " + std::to_string(neighbor) +
+                   " whose upstream is " + std::to_string(child->upstream) +
+                   ", not this router");
+        continue;
+      }
+      if (child->advertised_upstream != entry.count) {
+        w.flag(Check::kCountConservation, self, channel,
+               "recorded count " + std::to_string(entry.count) +
+                   " for router " + std::to_string(neighbor) +
+                   " != child's advertised " +
+                   std::to_string(child->advertised_upstream));
+      }
+    } else if (auto ht = w.hosts.find(neighbor); ht != w.hosts.end()) {
+      const std::int64_t local = ht->second->local_count(channel);
+      if (local != entry.count) {
+        w.flag(Check::kCountConservation, self, channel,
+               "recorded count " + std::to_string(entry.count) + " for host " +
+                   std::to_string(neighbor) + " != host's local count " +
+                   std::to_string(local));
+      }
+    }
+  }
+
+  // Child side: what this router advertised upstream must be recorded
+  // there (a stale parent entry is caught above; a *missing* one here).
+  const bool upstream_is_router = state.upstream != net::kInvalidNode &&
+                                  is_router_node(*w.network, state.upstream);
+  if (upstream_is_router && state.advertised_upstream > 0) {
+    if (auto it = w.routers.find(state.upstream); it != w.routers.end()) {
+      const Channel* parent = it->second->subscriptions().find(channel);
+      if (parent == nullptr || !parent->downstream.contains(self)) {
+        w.flag(Check::kCountConservation, self, channel,
+               "advertised " + std::to_string(state.advertised_upstream) +
+                   " to router " + std::to_string(state.upstream) +
+                   " which has no matching downstream entry");
+      }
+    }
+  }
+
+  // The advertisement itself: sign-consistent with the subtree sum
+  // always; exactly equal when drift is pushed proactively (§6) —
+  // without proactive counting, non-zero -> non-zero drift is
+  // legitimately never sent (§3.2 only signals 0 <-> non-zero).
+  if (!at_root(w, self, channel, state) && upstream_is_router) {
+    const std::int64_t subtree = state.subtree_count();
+    if ((state.advertised_upstream > 0) != (subtree > 0)) {
+      w.flag(Check::kCountConservation, self, channel,
+             "advertised " + std::to_string(state.advertised_upstream) +
+                 " upstream but subtree count is " + std::to_string(subtree));
+    } else if (router.config().proactive &&
+               state.advertised_upstream != subtree) {
+      w.flag(Check::kCountConservation, self, channel,
+             "proactive mode: advertised " +
+                 std::to_string(state.advertised_upstream) +
+                 " != subtree count " + std::to_string(subtree));
+    }
+  }
+}
+
+// --- (b) RPF consistency ---------------------------------------------
+
+void check_rpf(Walk& w, net::NodeId self, const ExpressRouter& router,
+               const ip::ChannelId& channel, const Channel& state) {
+  // Hysteresis (§3.2) intentionally delays the switch; an unsettled
+  // router is not in violation yet.
+  if (router.pending_route_switches() > 0) return;
+  const auto src = w.network->node_of(channel.source);
+  if (!src) return;
+  const auto rpf = w.network->routing().rpf_neighbor(self, *src);
+  if (!rpf) return;  // source unreachable: nothing to agree with
+  if (state.upstream != net::kInvalidNode && state.upstream != *rpf) {
+    w.flag(Check::kRpfConsistency, self, channel,
+           "upstream is " + std::to_string(state.upstream) +
+               " but RPF neighbor toward the source is " +
+               std::to_string(*rpf));
+  }
+}
+
+// --- (c) orphan forwarding state -------------------------------------
+
+void check_orphans(Walk& w, net::NodeId self, const ExpressRouter& router) {
+  const auto& channels = router.subscriptions().channels();
+  for (const auto& [channel, state] : channels) {
+    const std::int64_t subtree = state.subtree_count();
+    if (subtree <= 0) {
+      w.flag(Check::kOrphanState, self, channel,
+             "on-tree with subtree count " + std::to_string(subtree) +
+                 " (empty channels must be torn down)");
+    }
+    const FibEntry* fib = router.fib().find(channel);
+    if (fib == nullptr) {
+      w.flag(Check::kOrphanState, self, channel,
+             "membership state without a FIB entry");
+      continue;
+    }
+    // Replication set: every member with a currently resolvable
+    // interface must be covered, and no interface may linger with no
+    // member behind it. Skipped when adjacency is in flux (an
+    // unresolvable member means a partition is still healing).
+    net::InterfaceSet expected;
+    bool resolvable = true;
+    for (const auto& [neighbor, entry] : state.downstream) {
+      if (entry.count <= 0) continue;
+      if (auto iface = net::iface_toward(*w.network, self, neighbor)) {
+        expected.set(*iface);
+      } else {
+        resolvable = false;
+      }
+    }
+    if (resolvable && !(fib->oifs == expected)) {
+      w.flag(Check::kOrphanState, self, channel,
+             "FIB replication set does not match the member interfaces");
+    }
+  }
+  for (const auto& [channel, entry] : router.fib().entries()) {
+    if (!router.subscriptions().contains(channel)) {
+      w.flag(Check::kOrphanState, self, channel,
+             "FIB entry without membership state");
+    }
+  }
+}
+
+// --- (d) forwarding loops --------------------------------------------
+
+void check_loops(Walk& w) {
+  // Per channel, upstream pointers must form a forest: walk from every
+  // on-tree router toward the source; a revisit inside one walk is a
+  // loop. Colors memoize finished walks so the pass stays linear.
+  std::unordered_set<ip::ChannelId> channels;
+  for (const auto& [id, router] : w.routers) {
+    for (const auto& [channel, state] : router->subscriptions().channels()) {
+      channels.insert(channel);
+    }
+  }
+  enum class Color : std::uint8_t { kWhite, kGray, kDone };
+  for (const ip::ChannelId& channel : channels) {
+    std::unordered_map<net::NodeId, Color> color;
+    for (const auto& [start, router] : w.routers) {
+      if (router->subscriptions().find(channel) == nullptr) continue;
+      if (color[start] != Color::kWhite) continue;
+      std::vector<net::NodeId> path;
+      net::NodeId at = start;
+      while (true) {
+        path.push_back(at);
+        color[at] = Color::kGray;
+        auto it = w.routers.find(at);
+        const Channel* state =
+            it != w.routers.end() ? it->second->subscriptions().find(channel)
+                                  : nullptr;
+        if (state == nullptr || state->upstream == net::kInvalidNode ||
+            !w.routers.contains(state->upstream)) {
+          break;  // reached the root / a detached head: no loop this way
+        }
+        const net::NodeId up = state->upstream;
+        if (color[up] == Color::kGray) {
+          w.flag(Check::kForwardingLoop, up, channel,
+                 "upstream pointers revisit router " + std::to_string(up) +
+                     " (walk started at " + std::to_string(start) + ")");
+          break;
+        }
+        if (color[up] == Color::kDone) break;
+        at = up;
+      }
+      for (net::NodeId n : path) color[n] = Color::kDone;
+    }
+  }
+}
+
+}  // namespace
+
+const char* check_name(Check check) {
+  switch (check) {
+    case Check::kCountConservation:
+      return "count_conservation";
+    case Check::kRpfConsistency:
+      return "rpf_consistency";
+    case Check::kOrphanState:
+      return "orphan_state";
+    case Check::kForwardingLoop:
+      return "forwarding_loop";
+  }
+  return "unknown";
+}
+
+std::size_t AuditReport::count(Check check) const {
+  std::size_t n = 0;
+  for (const Violation& v : violations) {
+    if (v.check == check) ++n;
+  }
+  return n;
+}
+
+std::string AuditReport::to_string() const {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += std::string(check_name(v.check)) + " @router " +
+           std::to_string(v.router) + " " + v.channel.to_string() + ": " +
+           v.detail + "\n";
+  }
+  return out;
+}
+
+AuditReport InvariantAuditor::run() const {
+  Walk w;
+  w.network = network_;
+  const net::Topology& topo = network_->topology();
+  for (net::NodeId id = 0; id < topo.node_count(); ++id) {
+    const net::Node* node = network_->node(id);
+    if (node == nullptr) continue;
+    if (const auto* router = dynamic_cast<const ExpressRouter*>(node)) {
+      w.routers.emplace(id, router);
+    } else if (const auto* host = dynamic_cast<const ExpressHost*>(node)) {
+      w.hosts.emplace(id, host);
+    }
+  }
+
+  for (const auto& [id, router] : w.routers) {
+    ++w.report.routers_audited;
+    for (const auto& [channel, state] : router->subscriptions().channels()) {
+      ++w.report.channels_audited;
+      check_conservation(w, id, *router, channel, state);
+      check_rpf(w, id, *router, channel, state);
+    }
+    check_orphans(w, id, *router);
+  }
+  check_loops(w);
+  return w.report;
+}
+
+}  // namespace express::audit

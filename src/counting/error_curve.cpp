@@ -20,10 +20,13 @@ double ErrorCurve::time_until_send(double error) const {
 
 double relative_error(std::int64_t advertised, std::int64_t current) {
   if (advertised == current) return 0.0;
-  const auto lo = std::min(std::llabs(advertised), std::llabs(current));
-  if (lo == 0) return std::numeric_limits<double>::infinity();
+  // §4.1 measures drift relative to the value the parent still holds —
+  // the *advertised* count. Dividing by min(|advertised|, |current|)
+  // made the error asymmetric: a shrinking count looked larger than the
+  // same-sized growth and over-triggered proactive updates.
+  if (advertised == 0) return std::numeric_limits<double>::infinity();
   return static_cast<double>(std::llabs(current - advertised)) /
-         static_cast<double>(lo);
+         static_cast<double>(std::llabs(advertised));
 }
 
 bool ProactiveState::should_send(std::int64_t current, sim::Time now) const {

@@ -50,9 +50,11 @@ class ErrorCurve {
 };
 
 /// Relative drift between the advertised and current count, computed as
-/// the paper's e_rel = max(|delta|/advertised, |delta|/current), i.e.
-/// |delta| / min(advertised, current). Transitions to or from zero have
-/// unbounded relative error and are reported as +infinity.
+/// the paper's §4.1 drift relative to the advertised value:
+/// |current - advertised| / |advertised|. Transitions *from* zero (the
+/// parent believes nothing is there) have unbounded relative error and
+/// are reported as +infinity; drift toward zero is 1.0, the full
+/// advertised value.
 [[nodiscard]] double relative_error(std::int64_t advertised, std::int64_t current);
 
 /// Per-(channel, countId) proactive bookkeeping at one router: when to

@@ -8,6 +8,7 @@
 // the coalescing window expires or a segment fills.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -35,17 +36,24 @@ class Batcher {
   }
 
   /// Queue `msg` for `neighbor`. Flushes immediately when the segment
-  /// fills; otherwise a timer flushes after the coalescing window.
+  /// fills; otherwise a timer flushes after the coalescing window. A
+  /// flushed payload never exceeds kMaxSegmentBytes: when the encoded
+  /// message would overflow the pending segment, the pending bytes go
+  /// out first and the message starts a fresh segment.
   void enqueue(net::NodeId neighbor, const Message& msg) {
     Queue& q = queues_[neighbor];
-    encode(msg, q.bytes);
-    ++q.messages;
-    if (q.bytes.size() >= kMaxSegmentBytes) {
+    if (!q.bytes.empty() && q.bytes.size() + encoded_size(msg) > kMaxSegmentBytes) {
+      flush_now(neighbor);
+    }
+    Queue& fresh = queues_[neighbor];  // flush_ may re-enter and rehash queues_
+    encode(msg, fresh.bytes);
+    ++fresh.messages;
+    if (fresh.bytes.size() >= kMaxSegmentBytes) {
       flush_now(neighbor);
       return;
     }
-    if (!q.timer.pending()) {
-      q.timer = scheduler_->schedule_after(
+    if (!fresh.timer.pending()) {
+      fresh.timer = scheduler_->schedule_after(
           window_, [this, neighbor]() { flush_now(neighbor); });
     }
   }
@@ -63,8 +71,17 @@ class Batcher {
   }
 
   /// Flush everything (e.g. before a deterministic measurement point).
+  /// Neighbors flush in ascending NodeId order: iterating the hash map
+  /// directly would make packet-emission order depend on the hash
+  /// implementation, breaking bit-for-bit determinism across platforms.
   void flush_all() {
-    for (auto& [neighbor, q] : queues_) flush_now(neighbor);
+    std::vector<net::NodeId> neighbors;
+    neighbors.reserve(queues_.size());
+    for (const auto& [neighbor, q] : queues_) {
+      if (!q.bytes.empty()) neighbors.push_back(neighbor);
+    }
+    std::sort(neighbors.begin(), neighbors.end());
+    for (net::NodeId neighbor : neighbors) flush_now(neighbor);
   }
 
   [[nodiscard]] std::uint64_t segments_sent() const { return segments_sent_; }

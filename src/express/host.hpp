@@ -90,8 +90,14 @@ class ExpressHost : public net::Node {
   void delete_subscription(const ip::ChannelId& channel);
 
   [[nodiscard]] bool subscribed(const ip::ChannelId& channel) const {
+    return local_count(channel) > 0;
+  }
+
+  /// Subscribing apps on this host for `channel` (0 when none) — the
+  /// leaf term of the invariant auditor's count-conservation check.
+  [[nodiscard]] std::int64_t local_count(const ip::ChannelId& channel) const {
     auto it = subscriptions_.find(channel);
-    return it != subscriptions_.end() && it->second.local_count > 0;
+    return it != subscriptions_.end() ? it->second.local_count : 0;
   }
 
   /// Application hook answering an app-defined countId (§2.2.1: e.g. a

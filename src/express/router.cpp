@@ -212,11 +212,22 @@ void ExpressRouter::update_upstream(
       channel, state, key_to_forward, upstream_is_router);
   switch (plan.send) {
     case UpstreamSend::kJoin:
-      send_count(state.upstream, channel, plan.total, plan.key);
-      counting_.note_advertised(channel, plan.total);
+      if (neighbor_reachable(state.upstream)) {
+        send_count(state.upstream, channel, plan.total, plan.key);
+        counting_.note_advertised(channel, plan.total);
+      } else {
+        // Failed TCP write (§3.2): the upstream never saw this Count.
+        // Leave the advertisement unsynced so the reconnection
+        // re-announce in on_routing_change resends it after the heal.
+        state.advertised_upstream = 0;
+      }
       break;
     case UpstreamSend::kPrune:
-      send_count(state.upstream, channel, 0, std::nullopt);
+      // A prune lost to a dead link is harmless: the upstream dropped
+      // this child's entry in its own dead-link cleanup.
+      if (neighbor_reachable(state.upstream)) {
+        send_count(state.upstream, channel, 0, std::nullopt);
+      }
       break;
     case UpstreamSend::kDrift:
       maybe_send_proactive(channel);
@@ -227,9 +238,23 @@ void ExpressRouter::update_upstream(
   if (plan.remove_channel) remove_channel(channel);
 }
 
+bool ExpressRouter::neighbor_reachable(net::NodeId neighbor) const {
+  const auto iface = network().topology().interface_to(id(), neighbor);
+  if (!iface) {
+    // LAN-attached (or multi-hop) neighbor: reachable iff routed.
+    return network().routing().cost(id(), neighbor).has_value();
+  }
+  const net::LinkId link = network().topology().node(id()).interfaces.at(*iface);
+  return network().topology().link(link).up;
+}
+
 void ExpressRouter::maybe_send_proactive(const ip::ChannelId& channel) {
   Channel* state = table_.find(channel);
   if (state == nullptr) return;
+  if (state->upstream == net::kInvalidNode ||
+      !neighbor_reachable(state->upstream)) {
+    return;  // no live upstream connection: the drift waits for the heal
+  }
   const std::int64_t total = state->subtree_count();
   if (!counting_.evaluate(channel, total, state->validated_upstream)) return;
   send_count(state->upstream, channel, total, state->cached_key);

@@ -88,6 +88,11 @@ struct RouterStats {
   std::uint64_t subcasts_relayed = 0;
   std::uint64_t auth_rejects = 0;
   std::uint64_t key_registrations = 0;
+  /// Neighbor-death / dead-child updates skipped because the adjacency
+  /// view no longer resolves an interface toward the neighbor (the link
+  /// vanished before the event fired). Previously misattributed to
+  /// interface 0.
+  std::uint64_t unresolved_neighbor_updates = 0;
 };
 
 class ExpressRouter : public net::Node {
@@ -140,6 +145,7 @@ class ExpressRouter : public net::Node {
     s.data_packets_forwarded = fwd.data_packets_forwarded;
     s.data_copies_sent = fwd.data_copies_sent;
     s.subcasts_relayed = fwd.subcasts_relayed;
+    s.unresolved_neighbor_updates = unresolved_neighbor_updates_;
     return s;
   }
   [[nodiscard]] const ForwardingStats& forwarding_stats() const {
@@ -178,6 +184,23 @@ class ExpressRouter : public net::Node {
     }
     return state->upstream;
   }
+  /// Raw hard-state membership table (read-only, for the invariant
+  /// auditor and tests).
+  [[nodiscard]] const SubscriptionTable& subscriptions() const {
+    return table_;
+  }
+  /// Mutable membership state, for *fault injection only*: audit tests
+  /// corrupt it deliberately to prove the auditor catches each class of
+  /// inconsistency. Protocol code must never use this.
+  [[nodiscard]] SubscriptionTable& corrupt_subscriptions_for_test() {
+    return table_;
+  }
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+  /// Route switches currently held back by hysteresis — nonzero means
+  /// the RPF invariant is legitimately unsettled (§3.2).
+  [[nodiscard]] std::size_t pending_route_switches() const {
+    return pending_switches_.size();
+  }
 
   /// Observer invoked whenever a channel's subtree count changes at this
   /// router; Fig. 8 samples this at the tree root.
@@ -202,6 +225,10 @@ class ExpressRouter : public net::Node {
                               std::optional<ip::ChannelKey> key);
   void update_upstream(const ip::ChannelId& channel, Channel& state,
                        std::optional<ip::ChannelKey> key_to_forward);
+  /// Can a write to `neighbor` reach it right now? False while the
+  /// direct link is down (a dead TCP connection, §3.2): a Count sent
+  /// then is a failed write and must not count as an advertisement.
+  [[nodiscard]] bool neighbor_reachable(net::NodeId neighbor) const;
   void remove_channel(const ip::ChannelId& channel);
   void refresh_fib(const ip::ChannelId& channel, const Channel& state);
   void notify_total(const ip::ChannelId& channel) {
@@ -259,6 +286,7 @@ class ExpressRouter : public net::Node {
   ecmp::Transport transport_;
   /// Hysteresis timers for pending upstream switches (§3.2).
   std::unordered_map<ip::ChannelId, sim::EventHandle> pending_switches_;
+  std::uint64_t unresolved_neighbor_updates_ = 0;
   TotalObserver total_observer_;
 };
 

@@ -49,8 +49,15 @@ void ExpressRouter::neighbor_died(net::NodeId neighbor) {
   }
   for (const ip::ChannelId& channel : affected) {
     auto iface = network().topology().interface_to(id(), neighbor);
-    apply_subscriber_count(channel, neighbor, iface.value_or(0), 0,
-                           std::nullopt);
+    if (!iface) {
+      // The adjacency no longer knows this neighbor (link removed before
+      // the death fired). Applying the zero-count with a made-up
+      // interface would mutate the wrong interface's state; leave the
+      // entry for soft-state expiry / reconnection to settle instead.
+      ++unresolved_neighbor_updates_;
+      continue;
+    }
+    apply_subscriber_count(channel, neighbor, *iface, 0, std::nullopt);
   }
 }
 
@@ -63,8 +70,15 @@ void ExpressRouter::on_routing_change() {
   for (const auto& [channel, neighbor] :
        table_.collect_dead_children(network(), id())) {
     auto iface = net::iface_toward(network(), id(), neighbor);
-    apply_subscriber_count(channel, neighbor, iface.value_or(0), 0,
-                           std::nullopt);
+    if (!iface) {
+      // No interface resolves toward the child (e.g. a LAN host whose
+      // hub link died): skip rather than misattribute the zero-count to
+      // interface 0 — UDP soft state expires the entry if the outage
+      // persists, and a heal leaves the subscription intact.
+      ++unresolved_neighbor_updates_;
+      continue;
+    }
+    apply_subscriber_count(channel, neighbor, *iface, 0, std::nullopt);
   }
 
   // Then re-evaluate the upstream of every remaining channel, with

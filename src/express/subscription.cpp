@@ -152,6 +152,10 @@ UpstreamPlan SubscriptionTable::plan_upstream_update(
   } else if (plan.total != state.advertised_upstream) {
     plan.send = UpstreamSend::kDrift;
   }
+  // An empty channel is torn down even when there is nothing to prune:
+  // with the advertisement already voided by a dead upstream link, the
+  // last leave arrives at advertised == 0 and skips the kPrune branch.
+  if (plan.total == 0) plan.remove_channel = true;
   return plan;
 }
 

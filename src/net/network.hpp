@@ -73,6 +73,9 @@ class Network {
   [[nodiscard]] Node* node(NodeId id) {
     return id < nodes_.size() ? nodes_[id].get() : nullptr;
   }
+  [[nodiscard]] const Node* node(NodeId id) const {
+    return id < nodes_.size() ? nodes_[id].get() : nullptr;
+  }
 
   /// Resolve a unicast address to its topology node (O(1) index).
   [[nodiscard]] std::optional<NodeId> node_of(ip::Address address) const {

@@ -70,6 +70,16 @@ EventHandle Scheduler::schedule_at(Time when, Action action) {
   return EventHandle{this, slot, rec.generation};
 }
 
+std::optional<Time> Scheduler::next_event_time() {
+  while (!heap_.empty()) {
+    const std::uint32_t slot = heap_[0].slot();
+    if (slab_[slot].live) return heap_[0].when;
+    heap_pop_top();
+    release_slot(slot);
+  }
+  return std::nullopt;
+}
+
 std::uint64_t Scheduler::run_until(Time deadline) {
   std::uint64_t ran = 0;
   while (!heap_.empty()) {

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -87,6 +88,14 @@ class Scheduler {
 
   /// Number of events still queued (including lazily-cancelled ones).
   [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
+
+  /// Time of the earliest event that can still fire, or nullopt when
+  /// the queue holds nothing live — the quiescence probe. Unlike
+  /// pending_events() this sees through lazy cancellation: dead heap
+  /// tops are reclaimed on the way (each slot has exactly one heap
+  /// entry, so popping a dead top is exactly the cleanup run_until
+  /// would do).
+  [[nodiscard]] std::optional<Time> next_event_time();
 
   /// Total events executed since construction (cancelled events excluded).
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }

@@ -1,0 +1,234 @@
+// InvariantAuditor (src/audit): a quiescent EXPRESS network passes all
+// four tree invariants; an in-flight control message is visible as a
+// transient disagreement; and each class of deliberately injected
+// corruption is caught by exactly the check built for it.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "audit/invariants.hpp"
+#include "helpers.hpp"
+#include "workload/churn.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace express::test {
+namespace {
+
+using audit::AuditReport;
+using audit::Check;
+using audit::InvariantAuditor;
+
+AuditReport run_audit(ExpressNetwork& sim) {
+  return InvariantAuditor(sim.net()).run();
+}
+
+/// A settled tree with every receiver subscribed — the fixture the
+/// corruption tests start from.
+struct SettledTree {
+  SettledTree() : sim(workload::make_kary_tree(2, 2)) {
+    ch = sim.source().allocate_channel();
+    for (std::size_t i = 0; i < sim.receiver_count(); ++i) {
+      sim.receiver(i).new_subscription(ch);
+    }
+    sim.run_for(sim::seconds(2));
+  }
+
+  /// First on-tree router whose upstream is another router (a mid/leaf
+  /// router, never the tree root).
+  ExpressRouter& interior_router() {
+    for (std::size_t i = 0; i < sim.router_count(); ++i) {
+      ExpressRouter& r = sim.router(i);
+      const Channel* state = r.subscriptions().find(ch);
+      if (state == nullptr || state->upstream == net::kInvalidNode) continue;
+      if (sim.net().topology().node(state->upstream).kind ==
+          net::NodeKind::kRouter) {
+        return r;
+      }
+    }
+    ADD_FAILURE() << "no interior on-tree router";
+    return sim.router(0);
+  }
+
+  /// An on-tree router with a *host* downstream entry (a leaf router).
+  ExpressRouter& leaf_router() {
+    for (std::size_t i = 0; i < sim.router_count(); ++i) {
+      ExpressRouter& r = sim.router(i);
+      const Channel* state = r.subscriptions().find(ch);
+      if (state == nullptr) continue;
+      for (const auto& [neighbor, entry] : state->downstream) {
+        if (sim.net().topology().node(neighbor).kind == net::NodeKind::kHost) {
+          return r;
+        }
+      }
+    }
+    ADD_FAILURE() << "no on-tree leaf router";
+    return sim.router(0);
+  }
+
+  ExpressNetwork sim;
+  ip::ChannelId ch;
+};
+
+TEST(Audit, CleanAtQuiescence) {
+  SettledTree t;
+  const AuditReport report = run_audit(t.sim);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.routers_audited, t.sim.router_count());
+  EXPECT_GT(report.channels_audited, 0u);
+  EXPECT_GT(report.edges_checked, 0u);
+}
+
+TEST(Audit, CleanAfterChurnSettles) {
+  sim::Rng rng(7);
+  ExpressNetwork sim(workload::make_transit_stub(4, 2, 2, rng));
+  const ip::ChannelId ch = sim.source().allocate_channel();
+  const auto schedule = workload::poisson_churn(
+      static_cast<std::uint32_t>(sim.receiver_count()), sim::seconds(20),
+      sim::seconds(6), sim::seconds(3), rng);
+  for (const auto& ev : schedule) {
+    sim.net().scheduler().schedule_at(ev.at, [&sim, ev, ch] {
+      if (ev.join) {
+        sim.receiver(ev.host_index).new_subscription(ch);
+      } else {
+        sim.receiver(ev.host_index).delete_subscription(ch);
+      }
+    });
+  }
+  sim.run_for(sim::seconds(25));
+  const AuditReport report = run_audit(sim);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+// The auditor is only meaningful between events; sampled *mid-join*, the
+// leaf has advertised a count the parent has not yet received, and the
+// conservation check reports exactly that disagreement.
+TEST(Audit, SeesInFlightJoinAsDisagreement) {
+  ExpressNetwork sim(workload::make_kary_tree(2, 2));
+  const ip::ChannelId ch = sim.source().allocate_channel();
+  sim.receiver(0).new_subscription(ch);
+  // Edge (host->leaf) links are 1 ms, core links 5 ms: at t = 2 ms the
+  // leaf router has processed the join, its Count to the parent is
+  // still on the wire.
+  sim.run_for(sim::milliseconds(2));
+  const AuditReport mid = run_audit(sim);
+  EXPECT_FALSE(mid.clean());
+  EXPECT_GE(mid.count(Check::kCountConservation), 1u);
+
+  sim.run_for(sim::seconds(1));
+  EXPECT_TRUE(run_audit(sim).clean());
+}
+
+TEST(Audit, DetectsAdvertisedCountMismatch) {
+  SettledTree t;
+  Channel* state =
+      t.interior_router().corrupt_subscriptions_for_test().find(t.ch);
+  ASSERT_NE(state, nullptr);
+  state->advertised_upstream += 3;
+
+  const AuditReport report = run_audit(t.sim);
+  EXPECT_GE(report.count(Check::kCountConservation), 1u) << report.to_string();
+}
+
+TEST(Audit, DetectsHostCountMismatch) {
+  SettledTree t;
+  ExpressRouter& leaf = t.leaf_router();
+  Channel* state = leaf.corrupt_subscriptions_for_test().find(t.ch);
+  ASSERT_NE(state, nullptr);
+  for (auto& [neighbor, entry] : state->downstream) {
+    if (t.sim.net().topology().node(neighbor).kind == net::NodeKind::kHost) {
+      entry.count += 1;  // claims 2 apps; the host has 1
+      break;
+    }
+  }
+
+  const AuditReport report = run_audit(t.sim);
+  EXPECT_GE(report.count(Check::kCountConservation), 1u) << report.to_string();
+}
+
+TEST(Audit, DetectsRpfViolation) {
+  SettledTree t;
+  ExpressRouter& victim = t.interior_router();
+  Channel* state = victim.corrupt_subscriptions_for_test().find(t.ch);
+  ASSERT_NE(state, nullptr);
+  // Point the upstream at some other router that is not the RPF
+  // neighbor toward the source.
+  const net::NodeId real_upstream = state->upstream;
+  std::optional<net::NodeId> wrong;
+  for (std::size_t i = 0; i < t.sim.router_count(); ++i) {
+    const net::NodeId id = t.sim.roles().routers[i];
+    if (id != real_upstream && &t.sim.router(i) != &victim) {
+      wrong = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(wrong.has_value());
+  state->upstream = *wrong;
+
+  const AuditReport report = run_audit(t.sim);
+  EXPECT_GE(report.count(Check::kRpfConsistency), 1u) << report.to_string();
+}
+
+TEST(Audit, DetectsZeroSubtreeOrphan) {
+  SettledTree t;
+  Channel* state = t.leaf_router().corrupt_subscriptions_for_test().find(t.ch);
+  ASSERT_NE(state, nullptr);
+  for (auto& [neighbor, entry] : state->downstream) entry.count = 0;
+
+  const AuditReport report = run_audit(t.sim);
+  EXPECT_GE(report.count(Check::kOrphanState), 1u) << report.to_string();
+}
+
+TEST(Audit, DetectsOrphanFibEntry) {
+  SettledTree t;
+  ExpressRouter& leaf = t.leaf_router();
+  ASSERT_NE(leaf.fib().find(t.ch), nullptr);
+  // Membership evaporates; the FIB entry lingers.
+  leaf.corrupt_subscriptions_for_test().erase(t.ch);
+
+  const AuditReport report = run_audit(t.sim);
+  EXPECT_GE(report.count(Check::kOrphanState), 1u) << report.to_string();
+}
+
+TEST(Audit, DetectsForwardingLoop) {
+  SettledTree t;
+  // Make an interior router and its (router) upstream point at each
+  // other: a two-node cycle no walk toward the source can escape.
+  ExpressRouter& child = t.interior_router();
+  Channel* child_state = child.corrupt_subscriptions_for_test().find(t.ch);
+  ASSERT_NE(child_state, nullptr);
+  const net::NodeId parent_id = child_state->upstream;
+  std::optional<net::NodeId> child_id;
+  ExpressRouter* parent = nullptr;
+  for (std::size_t i = 0; i < t.sim.router_count(); ++i) {
+    if (&t.sim.router(i) == &child) child_id = t.sim.roles().routers[i];
+    if (t.sim.roles().routers[i] == parent_id) parent = &t.sim.router(i);
+  }
+  ASSERT_NE(parent, nullptr);
+  ASSERT_TRUE(child_id.has_value());
+  Channel* parent_state = parent->corrupt_subscriptions_for_test().find(t.ch);
+  ASSERT_NE(parent_state, nullptr);
+  parent_state->upstream = *child_id;
+
+  const AuditReport report = run_audit(t.sim);
+  EXPECT_GE(report.count(Check::kForwardingLoop), 1u) << report.to_string();
+}
+
+TEST(Audit, ReportFormattingNamesEveryCheck) {
+  EXPECT_STREQ(audit::check_name(Check::kCountConservation),
+               "count_conservation");
+  EXPECT_STREQ(audit::check_name(Check::kRpfConsistency), "rpf_consistency");
+  EXPECT_STREQ(audit::check_name(Check::kOrphanState), "orphan_state");
+  EXPECT_STREQ(audit::check_name(Check::kForwardingLoop), "forwarding_loop");
+
+  AuditReport report;
+  report.violations.push_back(audit::Violation{
+      Check::kRpfConsistency, 3, ip::ChannelId{}, "wrong upstream"});
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("rpf_consistency"), std::string::npos);
+  EXPECT_NE(text.find("wrong upstream"), std::string::npos);
+  EXPECT_EQ(report.count(Check::kRpfConsistency), 1u);
+  EXPECT_EQ(report.count(Check::kOrphanState), 0u);
+}
+
+}  // namespace
+}  // namespace express::test

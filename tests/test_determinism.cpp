@@ -31,8 +31,8 @@ struct Outcome {
   std::uint64_t data_delivered = 0;
 };
 
-Outcome run_seeded_churn() {
-  Testbed bed(workload::make_kary_tree(2, 3, {}, 2));  // 16 receivers
+Outcome run_seeded_churn(RouterConfig config = {}) {
+  Testbed bed(workload::make_kary_tree(2, 3, {}, 2), config);  // 16 receivers
   const ip::ChannelId channel = bed.source().allocate_channel();
 
   sim::Rng rng(7);
@@ -79,6 +79,39 @@ TEST(Determinism, SeededChurnCountersArePinned) {
   EXPECT_EQ(out.total_link_bytes, 519864u);
   EXPECT_EQ(out.executed_events, 1185u);
   EXPECT_EQ(out.data_delivered, 365u);
+}
+
+// Batched TCP mode (§5.3) shares segments between control messages and
+// drains via Batcher timers and flush_all — both must be byte-for-byte
+// reproducible. flush_all used to iterate an unordered_map, so these
+// counters (and the identical-repeat check below) depended on the hash
+// implementation.
+constexpr std::uint64_t kBatchedPacketsSent = 1083;
+constexpr std::uint64_t kBatchedBytesSent = 520948;
+constexpr std::uint64_t kBatchedExecutedEvents = 1281;
+
+RouterConfig batched_config() {
+  RouterConfig config;
+  config.batch_window = sim::milliseconds(10);
+  return config;
+}
+
+TEST(Determinism, BatchedChurnCountersArePinned) {
+  const Outcome out = run_seeded_churn(batched_config());
+  EXPECT_EQ(out.packets_sent, kBatchedPacketsSent);
+  EXPECT_EQ(out.bytes_sent, kBatchedBytesSent);
+  EXPECT_EQ(out.total_link_bytes, kBatchedBytesSent);
+  EXPECT_EQ(out.executed_events, kBatchedExecutedEvents);
+  EXPECT_EQ(out.data_delivered, 365u);
+}
+
+TEST(Determinism, BatchedRunsAreIdentical) {
+  const Outcome a = run_seeded_churn(batched_config());
+  const Outcome b = run_seeded_churn(batched_config());
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_EQ(a.data_delivered, b.data_delivered);
 }
 
 TEST(Determinism, RepeatedRunsAreIdentical) {

@@ -73,14 +73,41 @@ TEST(ErrorCurve, TimeUntilSendEdgeCases) {
 }
 
 TEST(RelativeError, Definition) {
-  // e_rel = max(|delta|/advertised, |delta|/current).
+  // §4.1: drift relative to what was advertised upstream —
+  // e_rel = |current - advertised| / |advertised|.
   EXPECT_DOUBLE_EQ(relative_error(100, 100), 0.0);
   EXPECT_DOUBLE_EQ(relative_error(100, 110), 0.1);
-  EXPECT_DOUBLE_EQ(relative_error(110, 100), 0.1);
-  EXPECT_DOUBLE_EQ(relative_error(100, 50), 1.0);
-  EXPECT_TRUE(std::isinf(relative_error(0, 5)));
-  EXPECT_TRUE(std::isinf(relative_error(5, 0)));
+  EXPECT_DOUBLE_EQ(relative_error(110, 100), 1.0 / 11.0);
+  EXPECT_DOUBLE_EQ(relative_error(100, 50), 0.5);
+  EXPECT_DOUBLE_EQ(relative_error(5, 0), 1.0);  // drained to zero: 100% drift
+  EXPECT_TRUE(std::isinf(relative_error(0, 5)));  // from zero: unbounded
   EXPECT_DOUBLE_EQ(relative_error(0, 0), 0.0);
+}
+
+TEST(RelativeError, SymmetricAroundAdvertised) {
+  // Shrinking by delta reads exactly like growing by delta. The old
+  // min(|advertised|, |current|) denominator reported 100 -> 80 as
+  // 20/80 = 0.25 while 100 -> 120 read 20/100 = 0.2, so shrinking
+  // counts systematically over-triggered proactive updates.
+  EXPECT_DOUBLE_EQ(relative_error(100, 80), 0.2);
+  EXPECT_DOUBLE_EQ(relative_error(100, 120), 0.2);
+  EXPECT_DOUBLE_EQ(relative_error(100, 80), relative_error(100, 120));
+}
+
+TEST(ProactiveState, ShrinkingCountNoLongerOverTriggers) {
+  // The over-trigger scenario pinned end-to-end: a 100 -> 78 drop is
+  // 22% drift, but the old denominator read it as 22/78 ~ 28.2%. At
+  // dt = 15 s the curve (e_max 0.3, tau 120, alpha 2.5) tolerates
+  // 0.12 * ln(120/15) ~ 24.9% — between the two readings, so the old
+  // code fired an update the paper's definition holds back.
+  ProactiveState s(CurveParams{0.3, 120, 2.5});
+  s.mark_sent(100, sim::seconds(0));
+  EXPECT_FALSE(s.should_send(78, sim::seconds(15)));  // old code: true
+  // The equally-sized growth behaves identically.
+  EXPECT_FALSE(s.should_send(122, sim::seconds(15)));
+  // Both still flush once the curve decays below 22% (dt > ~19.2 s).
+  EXPECT_TRUE(s.should_send(78, sim::seconds(30)));
+  EXPECT_TRUE(s.should_send(122, sim::seconds(30)));
 }
 
 TEST(ProactiveState, FirstNonZeroSendsImmediately) {

@@ -122,6 +122,44 @@ TEST(Lan, SilentLanMemberExpiresIndividually) {
   EXPECT_EQ(lan.hosts[0]->deliveries().size(), 1u);
 }
 
+TEST(Lan, DeadHostLinkIsSkippedNotMisattributed) {
+  // Cut a LAN member's drop cable. The dead-child cleanup in
+  // on_routing_change cannot resolve an interface toward the host (it
+  // sits behind the hub and has no route), so it must *skip* the update
+  // and count it — the old code fell back to interface 0 and zeroed the
+  // subscription, permanently cutting the member off even after the
+  // wire healed (UDP refresh never re-queries a removed channel).
+  RouterConfig config;
+  config.udp_query_interval = sim::seconds(5);
+  config.udp_robustness = 2;
+  LanNet lan(config);
+  const ip::ChannelId ch = lan.source->allocate_channel();
+  lan.edge->set_interface_mode(1, ecmp::Mode::kUdp);
+  lan.hosts[1]->new_subscription(ch);  // the only subscriber
+  lan.run_for(sim::seconds(1));
+  ASSERT_EQ(lan.edge->subtree_count(ch), 1);
+
+  const net::NodeId victim = lan.segment.hosts[1];
+  auto hub_iface = lan.network->topology().interface_to(lan.segment.hub, victim);
+  ASSERT_TRUE(hub_iface.has_value());
+  const net::LinkId drop =
+      lan.network->topology().node(lan.segment.hub).interfaces.at(*hub_iface);
+
+  lan.network->set_link_up(drop, false);
+  lan.run_for(sim::milliseconds(500));
+  EXPECT_EQ(lan.edge->stats().unresolved_neighbor_updates, 1u);
+  EXPECT_EQ(lan.edge->subtree_count(ch), 1);  // hard state intact
+  EXPECT_TRUE(lan.edge->on_tree(ch));
+
+  // Heal inside the soft-state lifetime: the member receives again
+  // without rejoining.
+  lan.network->set_link_up(drop, true);
+  lan.run_for(sim::milliseconds(500));
+  lan.source->send(ch, 100, 1);
+  lan.run_for(sim::seconds(1));
+  EXPECT_EQ(lan.hosts[1]->deliveries().size(), 1u);
+}
+
 TEST(Lan, SameSegmentSourceReachesNeighborsViaTheWire) {
   // A host on the LAN sources a channel; a subscriber on the same wire
   // hears the transmission directly (hub broadcast), and the router

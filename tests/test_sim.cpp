@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event scheduler and deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -44,6 +45,32 @@ TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
   });
   s.run();
   EXPECT_EQ(fired, seconds(15));
+}
+
+TEST(Scheduler, NextEventTimePeeksWithoutRunning) {
+  Scheduler s;
+  EXPECT_EQ(s.next_event_time(), std::nullopt);
+  s.schedule_at(seconds(4), [] {});
+  s.schedule_at(seconds(2), [] {});
+  EXPECT_EQ(s.next_event_time(), std::optional<Time>(seconds(2)));
+  EXPECT_EQ(s.now(), Time{0});  // peeking advances nothing
+  s.run();
+  EXPECT_EQ(s.next_event_time(), std::nullopt);
+}
+
+TEST(Scheduler, NextEventTimeSeesThroughCancelledTops) {
+  Scheduler s;
+  auto first = s.schedule_at(seconds(1), [] {});
+  auto second = s.schedule_at(seconds(2), [] {});
+  s.schedule_at(seconds(3), [] {});
+  first.cancel();
+  second.cancel();
+  // Both dead entries at the top of the heap are reclaimed in passing.
+  EXPECT_EQ(s.next_event_time(), std::optional<Time>(seconds(3)));
+  auto cancelled_all = s.schedule_at(seconds(10), [] {});
+  s.run();
+  cancelled_all.cancel();
+  EXPECT_EQ(s.next_event_time(), std::nullopt);
 }
 
 TEST(Scheduler, RunUntilStopsAtDeadline) {

@@ -117,6 +117,60 @@ TEST(Transport, BatchWindowCoalescesMessagesIntoOneSegment) {
   EXPECT_EQ(pair.b->transport.stats().counts_received, 3u);
 }
 
+TEST(Batcher, FlushedPayloadNeverExceedsSegmentCap) {
+  // §5.3: ~92 16-byte Counts per 1480-byte segment. Enqueue enough to
+  // fill several segments and check no flushed payload ever exceeds the
+  // cap — the pre-fix enqueue appended before checking, so the 93rd
+  // Count produced a 1488-byte "segment".
+  sim::Scheduler sched;
+  std::vector<std::size_t> sizes;
+  Batcher batcher(sched, sim::milliseconds(5),
+                  [&](net::NodeId, std::vector<std::uint8_t> payload) {
+                    sizes.push_back(payload.size());
+                  });
+
+  const Message msg = Count{kCh, kSubscriberId, 1, 0, {}};
+  const std::size_t per = encoded_size(msg);
+  ASSERT_NE(kMaxSegmentBytes % per, 0u);  // remainder is what overflowed
+  const std::size_t per_segment = kMaxSegmentBytes / per;
+  const std::size_t total = per_segment * 3 + 1;
+  for (std::size_t i = 0; i < total; ++i) {
+    batcher.enqueue(net::NodeId{1}, msg);
+  }
+  batcher.flush_all();
+
+  ASSERT_EQ(sizes.size(), 4u);
+  std::size_t bytes = 0;
+  for (std::size_t s : sizes) {
+    EXPECT_LE(s, kMaxSegmentBytes);
+    bytes += s;
+  }
+  EXPECT_EQ(bytes, total * per);           // nothing lost at the split
+  EXPECT_EQ(sizes[0], per_segment * per);  // full segments stay full
+}
+
+TEST(Batcher, FlushAllDrainsNeighborsInSortedOrder) {
+  // flush_all used to iterate the unordered_map, making packet-emission
+  // order hash-dependent; the order must be ascending NodeId.
+  sim::Scheduler sched;
+  std::vector<net::NodeId> order;
+  Batcher batcher(sched, sim::milliseconds(5),
+                  [&](net::NodeId neighbor, std::vector<std::uint8_t>) {
+                    order.push_back(neighbor);
+                  });
+
+  const Message msg = Count{kCh, kSubscriberId, 1, 0, {}};
+  for (std::uint32_t id = 64; id > 0; --id) {
+    batcher.enqueue(net::NodeId{id}, msg);
+  }
+  batcher.flush_all();
+
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], net::NodeId{static_cast<std::uint32_t>(i + 1)});
+  }
+}
+
 TEST(Transport, UnreachableNeighborDropsAfterByteAccounting) {
   // Two routers with no connecting link: a partition. The send is
   // accounted (the bytes hit the failed TCP write) but nothing arrives.
