@@ -11,6 +11,14 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+on_fail() {
+  echo >&2
+  echo "check.sh: FAILED. If the failure is a -Werror=unused-result or" >&2
+  echo "ordering issue, run the static gate for a faster diagnosis:" >&2
+  echo "    scripts/lint.sh        (also the CI 'lint' job)" >&2
+}
+trap 'on_fail' ERR
 build_dir="${1:-$repo_root/build-asan}"
 
 echo "== configure ($build_dir, ASan+UBSan) =="

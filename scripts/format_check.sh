@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Formatting diff-gate. Prefers clang-format (.clang-format at the repo
+# root) when installed; otherwise falls back to a Python whitespace
+# check (trailing whitespace, tabs, CRLF, missing final newline) so the
+# gate never silently vanishes on machines without the clang tools.
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if command -v clang-format >/dev/null 2>&1; then
+  mapfile -t sources < <(
+    find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
+      "$repo_root/examples" \
+      \( -name '*.hpp' -o -name '*.cpp' -o -name '*.h' -o -name '*.cc' \) |
+      sort
+  )
+  if clang-format --dry-run -Werror "${sources[@]}"; then
+    echo "clang-format: clean (${#sources[@]} files)"
+    exit 0
+  fi
+  echo "format_check.sh: run clang-format -i on the files above" >&2
+  exit 1
+fi
+
+echo "clang-format not installed; whitespace fallback"
+exec python3 "$repo_root/scripts/lint/format_fallback.py"

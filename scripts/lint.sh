@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Static-analysis gate (DESIGN.md §7) — the third CI job next to
+# verify (build+test) and sanitize (ASan/UBSan).
+#
+# Layers, in order:
+#   1. detlint        custom determinism/protocol lints (pure Python,
+#                     always run — no toolchain dependency)
+#   2. format check   clang-format diff-gate, or whitespace fallback
+#   3. clang-tidy     .clang-tidy profile, only when installed
+#   4. cppcheck       with scripts/lint/cppcheck-suppressions.txt,
+#                     only when installed
+#
+# The container image does not ship the clang tools; CI installs them.
+# Skipping an uninstalled tool is reported but is not a failure —
+# detlint and the format gate always run and always gate.
+#
+# Usage:
+#   scripts/lint.sh               full gate
+#   scripts/lint.sh --self-test   run detlint against tests/lint_fixtures/
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ "${1:-}" == "--self-test" ]]; then
+  exec python3 "$repo_root/scripts/lint/detlint.py" --self-test \
+    --root "$repo_root"
+fi
+
+fail=0
+
+echo "== detlint (determinism & protocol-safety lints) =="
+if python3 "$repo_root/scripts/lint/detlint.py" --root "$repo_root"; then
+  echo "detlint: clean"
+else
+  fail=1
+fi
+
+echo "== format check =="
+"$repo_root/scripts/format_check.sh" || fail=1
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # clang-tidy needs a compilation database; configure a build dir if
+  # none exists yet (CMakeLists.txt exports compile_commands.json).
+  build_dir="$repo_root/build"
+  if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  fi
+  mapfile -t tidy_sources < <(find "$repo_root/src" -name '*.cpp' | sort)
+  if clang-tidy -p "$build_dir" --quiet "${tidy_sources[@]}"; then
+    echo "clang-tidy: clean"
+  else
+    fail=1
+  fi
+else
+  echo "clang-tidy not installed; skipped (CI runs it)"
+fi
+
+echo "== cppcheck =="
+if command -v cppcheck >/dev/null 2>&1; then
+  if cppcheck --enable=warning,performance,portability \
+    --std=c++20 --inline-suppr --error-exitcode=1 --quiet \
+    --suppressions-list="$repo_root/scripts/lint/cppcheck-suppressions.txt" \
+    -I "$repo_root/src" "$repo_root/src"; then
+    echo "cppcheck: clean"
+  else
+    fail=1
+  fi
+else
+  echo "cppcheck not installed; skipped (CI runs it)"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "lint.sh: FAILED — see findings above" >&2
+  exit 1
+fi
+echo "== lint.sh: all green =="

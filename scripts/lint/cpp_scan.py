@@ -1,0 +1,177 @@
+"""Lightweight C++ source scanning for the determinism lints.
+
+No libclang in the build container, so the custom lints work on a
+token-ish view of the source: comments and string/char literals are
+blanked (replaced with spaces, preserving byte offsets and line
+numbers), and a small brace matcher recovers statement/block extents.
+That is enough for the checks in detlint.py, all of which are
+line/region pattern checks rather than full semantic analysis.
+
+The suppression comments the lints honour are extracted *before*
+blanking, keyed by line number:
+
+    // lint: order-independent (<why>)
+    // lint: allow-new (<why>)
+
+A justification in parentheses is mandatory — a bare annotation is
+itself a lint error (reported by detlint).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+LINT_COMMENT_RE = re.compile(
+    r"//\s*lint:\s*(?P<tag>[a-z-]+)\s*(?P<why>\([^)]*\))?"
+)
+
+#: Suppression tags the lints understand.
+KNOWN_TAGS = ("order-independent", "allow-new")
+
+
+@dataclass
+class Suppression:
+    tag: str
+    line: int  # 1-based line the comment sits on
+    justified: bool  # has a non-empty (...) justification
+
+
+@dataclass
+class SourceFile:
+    path: str
+    raw: str
+    #: raw with comments and string/char literals blanked to spaces.
+    code: str = ""
+    #: lint suppression comments, in file order.
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    def line_of(self, offset: int) -> int:
+        """1-based line number of a byte offset."""
+        return self.raw.count("\n", 0, offset) + 1
+
+    def line_text(self, line: int) -> str:
+        lines = self.raw.splitlines()
+        return lines[line - 1] if 1 <= line <= len(lines) else ""
+
+    def suppressed(self, tag: str, line: int, reach: int = 1) -> bool:
+        """True when a justified `tag` suppression sits on `line` or up
+        to `reach` lines above it (annotation-above-statement style)."""
+        for s in self.suppressions:
+            if s.tag == tag and s.justified and line - reach <= s.line <= line:
+                return True
+        return False
+
+
+def strip_code(raw: str) -> tuple[str, list[Suppression]]:
+    """Blank comments and literals; collect lint suppression comments.
+
+    Keeps newlines so offsets map to the same line numbers as `raw`.
+    """
+    out = list(raw)
+    suppressions: list[Suppression] = []
+    i, n = 0, len(raw)
+
+    def blank(start: int, end: int) -> None:
+        for j in range(start, end):
+            if out[j] != "\n":
+                out[j] = " "
+
+    while i < n:
+        c = raw[i]
+        nxt = raw[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = raw.find("\n", i)
+            end = n if end == -1 else end
+            m = LINT_COMMENT_RE.search(raw, i, end)
+            if m:
+                why = m.group("why")
+                suppressions.append(
+                    Suppression(
+                        tag=m.group("tag"),
+                        line=raw.count("\n", 0, i) + 1,
+                        justified=bool(why and why.strip("() \t")),
+                    )
+                )
+            blank(i, end)
+            i = end
+        elif c == "/" and nxt == "*":
+            end = raw.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            blank(i, end)
+            i = end
+        elif c == '"':
+            # Skip raw strings wholesale: R"delim(...)delim"
+            if i >= 1 and raw[i - 1] == "R":
+                m = re.match(r'R"([^(\s]*)\(', raw[i - 1 :])
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    end = raw.find(close, i + 1)
+                    end = n if end == -1 else end + len(close)
+                    blank(i, end)
+                    i = end
+                    continue
+            j = i + 1
+            while j < n and raw[j] != '"':
+                if raw[j] == "\\":
+                    j += 1
+                j += 1
+            blank(i + 1, min(j, n))
+            i = min(j, n) + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and raw[j] != "'":
+                if raw[j] == "\\":
+                    j += 1
+                j += 1
+            # Digit separators (1'000'000) parse as empty/odd char
+            # literals; blanking the short span between quotes is
+            # harmless either way.
+            blank(i + 1, min(j, n))
+            i = min(j, n) + 1
+        else:
+            i += 1
+    return "".join(out), suppressions
+
+
+def load(path: str) -> SourceFile:
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        raw = fh.read()
+    sf = SourceFile(path=path, raw=raw)
+    sf.code, sf.suppressions = strip_code(raw)
+    return sf
+
+
+def matching_brace(code: str, open_idx: int) -> int:
+    """Index of the '}' matching the '{' at open_idx, or len(code)."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code)
+
+
+def statement_end(code: str, start: int) -> int:
+    """End offset of the statement starting at `start`: either the
+    matching '}' of the first top-level '{', or the first top-level ';'
+    (for brace-less loop bodies)."""
+    depth = 0
+    i = start
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif c == "{" and depth == 0:
+            return matching_brace(code, i)
+        elif c == ";" and depth == 0:
+            return i
+        i += 1
+    return n

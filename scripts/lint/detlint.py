@@ -1,0 +1,519 @@
+#!/usr/bin/env python3
+"""Determinism & protocol-safety lints for the EXPRESS simulator.
+
+The repo's headline guarantee is bit-for-bit deterministic replay
+(DESIGN.md §7). The compiler cannot see the class of bug that breaks
+it — iterating a hash map in a loop whose body emits packets — so this
+driver implements the checks as source lints:
+
+  unordered-effectful-loop   range-for over a std::unordered_{map,set}
+                             whose body sends messages, schedules
+                             events, appends to an output list, or
+                             feeds stats. Fix: iterate a sorted
+                             snapshot (det::sorted_items/sorted_keys),
+                             use std::map/std::set, or annotate
+                             `// lint: order-independent (<why>)`.
+  banned-construct           rand()/srand()/std::random_device, wall
+                             clocks (system_clock, time(), ...), and
+                             raw new/delete outside the slab allocator
+                             (suppress with `// lint: allow-new (<why>)`).
+  uninitialized-message-pod  POD members of wire/message structs with
+                             no default initializer (uninitialized
+                             bytes => nondeterministic traces and
+                             MSan/valgrind noise).
+  discarded-effect           a protocol-effect method (UpstreamPlan,
+                             VerdictEffects, ...) called as a bare
+                             statement. [[nodiscard]] +
+                             -Werror=unused-result catches this at
+                             compile time; the lint reports it without
+                             a build and covers future effect methods
+                             listed in CONFIG.
+  bare-suppression           a `// lint:` annotation with no
+                             justification, or an unknown tag.
+
+Zero third-party dependencies (no libclang in the container); see
+cpp_scan.py for the source model. Exit 0 = clean, 1 = findings,
+2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import cpp_scan  # noqa: E402
+from cpp_scan import KNOWN_TAGS, SourceFile  # noqa: E402
+
+CONFIG = {
+    # Directories scanned for loops / banned constructs (repo-relative).
+    "src_dirs": ["src"],
+    # Wall clocks are also banned in src/ only: bench/ legitimately
+    # times wall-clock throughput, tests may too.
+    "clock_dirs": ["src"],
+    # Files whose structs are wire/message formats: every POD member
+    # must carry a default initializer.
+    "message_struct_files": [
+        "src/ecmp/messages.hpp",
+        "src/ecmp/session.hpp",
+        "src/baseline/wire.hpp",
+        "src/relay/wire.hpp",
+        "src/net/packet.hpp",
+        "src/express/fib.hpp",
+    ],
+    # Methods returning protocol-effect values that must be consumed.
+    "effect_methods": [
+        "plan_upstream_update",
+        "apply_upstream_verdict",
+        "apply_route_switch",
+        "udp_refresh_actions",
+        "collect_dead_children",
+        "query_children",
+        "expire",
+        "sorted_items",
+        "sorted_keys",
+    ],
+}
+
+# A loop body "has effects" when packet-emission order would leak into
+# the trace: message sends, scheduled events, appends to an ordered
+# output, or stat counters that feed reports.
+EFFECT_RE = re.compile(
+    r"""
+    \b(?:send|transmit|emit|notify|deliver|schedule|enqueue|flush
+        |reply|forward|replicate|announce|reannounce|graft|broadcast
+        |push|unicast|multicast)\w*\s*\(
+    | \.(?:push_back|emplace_back|append)\s*\(
+    | \bstats_\.\w+\s*(?:\+\+|--|\+=|-=|=)
+    | \+\+\s*stats_\.
+    """,
+    re.VERBOSE,
+)
+
+BANNED_RANDOM_RE = re.compile(r"\b(?:rand|srand|random|drand48|lrand48)\s*\(|std::random_device")
+BANNED_CLOCK_RE = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+    r"|\b(?:time|gettimeofday|clock_gettime|localtime|gmtime|clock)\s*\(\s*(?:NULL|nullptr|&|\))"
+)
+# `::new (ptr) T(...)` placement-new is the slab allocator's bread and
+# butter — only plain heap `new` / `delete` are flagged.
+RAW_NEW_RE = re.compile(r"(?<![:.\w])new\s+[A-Za-z_:<]")
+RAW_DELETE_RE = re.compile(r"(?<![:.\w])delete(?:\s*\[\s*\])?\s+[A-Za-z_*(]")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+
+POD_MEMBER_RE = re.compile(
+    r"""^\s*
+    (?:static\s+|constexpr\s+|mutable\s+)*
+    (?P<type>(?:std::)?(?:u?int(?:8|16|32|64)?_t|size_t|ssize_t|ptrdiff_t
+        |bool|char|float|double|unsigned(?:\s+\w+)?|signed(?:\s+\w+)?
+        |int|long(?:\s+\w+)?|short))
+    \s+ (?P<name>\w+) (?P<array>\s*\[[^\]]*\])?
+    \s* (?P<init>=[^;]*|\{[^;]*\})? \s* ;
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class Finding:
+    check: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Registry of unordered-container names and accessors (global, cross-file:
+# a loop in router.cpp may iterate an accessor declared in subscription.hpp).
+# --------------------------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def skip_template_args(code: str, open_idx: int) -> int:
+    """Index just past the '>' matching '<' at open_idx (angle depth only;
+    good enough for container template argument lists)."""
+    depth = 0
+    i = open_idx
+    while i < len(code):
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{":  # malformed / not a template arg list
+            return i
+        i += 1
+    return i
+
+
+def collect_unordered_names(files: list[SourceFile]) -> tuple[set, set]:
+    """(variable/member names, accessor-method names) of unordered
+    containers declared anywhere in the scanned tree."""
+    variables: set[str] = set()
+    accessors: set[str] = set()
+    for sf in files:
+        for m in UNORDERED_DECL_RE.finditer(sf.code):
+            end = skip_template_args(sf.code, m.end() - 1)
+            rest = sf.code[end : end + 160]
+            rm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*(\(|[;={])", rest)
+            if not rm:
+                continue
+            name, tail = rm.group(1), rm.group(2)
+            if tail == "(":
+                accessors.add(name)
+            else:
+                variables.add(name)
+    return variables, accessors
+
+
+# --------------------------------------------------------------------------
+# Check: unordered-effectful-loop
+# --------------------------------------------------------------------------
+
+def check_unordered_loops(sf: SourceFile, variables: set, accessors: set,
+                          findings: list) -> None:
+    for m in RANGE_FOR_RE.finditer(sf.code):
+        open_paren = m.end() - 1
+        close = match_paren(sf.code, open_paren)
+        header = sf.code[open_paren + 1 : close]
+        colon = split_range_for(header)
+        if colon is None:
+            continue  # classic for(;;): index order is explicit
+        range_expr = header[colon + 1 :].strip()
+        if "det::sorted_" in range_expr:
+            continue  # already iterating a sorted snapshot
+        if not mentions_unordered(range_expr, variables, accessors):
+            continue
+        line = sf.line_of(m.start())
+        body = sf.code[close + 1 : cpp_scan.statement_end(sf.code, close + 1) + 1]
+        if not EFFECT_RE.search(body):
+            continue
+        if sf.suppressed("order-independent", line, reach=2) or sf.suppressed(
+            "order-independent", line + 1, reach=0
+        ):
+            continue
+        findings.append(
+            Finding(
+                "unordered-effectful-loop", sf.path, line,
+                f"iteration over unordered container `{range_expr}` has "
+                "order-dependent effects; iterate det::sorted_items/"
+                "sorted_keys, use std::map/set, or annotate "
+                "`// lint: order-independent (<why>)`",
+            )
+        )
+
+
+def match_paren(code: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code)
+
+
+def split_range_for(header: str):
+    """Offset of the range-for ':' in a for-header, or None. Skips '::'
+    and ternaries inside parens/brackets."""
+    depth = 0
+    i = 0
+    while i < len(header):
+        c = header[i]
+        if c in "([<":
+            depth += 1
+        elif c in ")]>":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if i + 1 < len(header) and header[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and header[i - 1] == ":":
+                i += 1
+                continue
+            return i
+        i += 1
+    return None
+
+
+def mentions_unordered(range_expr: str, variables: set, accessors: set) -> bool:
+    if "unordered_" in range_expr:
+        return True
+    for ident in IDENT_RE.finditer(range_expr):
+        name = ident.group(0)
+        after = range_expr[ident.end() :].lstrip()
+        if name in accessors and after.startswith("("):
+            return True
+        if name in variables and not after.startswith("("):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Check: banned-construct
+# --------------------------------------------------------------------------
+
+def check_banned(sf: SourceFile, ban_clocks: bool, findings: list) -> None:
+    for m in BANNED_RANDOM_RE.finditer(sf.code):
+        findings.append(
+            Finding("banned-construct", sf.path, sf.line_of(m.start()),
+                    f"`{m.group(0).strip()}`: unseeded/libc randomness breaks "
+                    "replay; use a seeded engine owned by the scenario")
+        )
+    if ban_clocks:
+        for m in BANNED_CLOCK_RE.finditer(sf.code):
+            findings.append(
+                Finding("banned-construct", sf.path, sf.line_of(m.start()),
+                        f"`{m.group(0).strip()}`: wall-clock reads in the "
+                        "simulator core break replay; use sim::Scheduler time")
+            )
+    for regex, what in ((RAW_NEW_RE, "new"), (RAW_DELETE_RE, "delete")):
+        for m in regex.finditer(sf.code):
+            line = sf.line_of(m.start())
+            if sf.suppressed("allow-new", line, reach=2):
+                continue
+            findings.append(
+                Finding("banned-construct", sf.path, line,
+                        f"raw `{what}` outside the slab allocator; use the "
+                        "slab/value semantics or annotate "
+                        "`// lint: allow-new (<why>)`")
+            )
+
+
+# --------------------------------------------------------------------------
+# Check: uninitialized-message-pod
+# --------------------------------------------------------------------------
+
+STRUCT_RE = re.compile(r"\b(?:struct|class)\s+(?:\[\[\w+\]\]\s*)?(\w+)[^;{]*\{")
+
+
+def check_message_pods(sf: SourceFile, findings: list) -> None:
+    for sm in STRUCT_RE.finditer(sf.code):
+        body_start = sm.end() - 1
+        body_end = cpp_scan.matching_brace(sf.code, body_start)
+        body = sf.code[body_start + 1 : body_end]
+        base_off = body_start + 1
+        depth_guard = 0
+        for raw_line in split_statement_lines(body):
+            text, off = raw_line
+            depth_guard += text.count("{") - text.count("}")
+            if depth_guard > 0 and "{" not in text:
+                continue  # inside a nested function body
+            pm = POD_MEMBER_RE.match(text)
+            if pm is None or pm.group("init"):
+                continue
+            if "(" in text.split(";")[0] and "[" not in text:
+                continue  # function declaration
+            findings.append(
+                Finding(
+                    "uninitialized-message-pod", sf.path,
+                    sf.line_of(base_off + off),
+                    f"member `{pm.group('name')}` of message struct "
+                    f"`{sm.group(1)}` has no default initializer "
+                    "(uninitialized wire bytes are nondeterministic)",
+                )
+            )
+
+
+def split_statement_lines(body: str):
+    off = 0
+    for line in body.split("\n"):
+        yield line, off
+        off += len(line) + 1
+
+
+# --------------------------------------------------------------------------
+# Check: discarded-effect
+# --------------------------------------------------------------------------
+
+def check_discarded_effects(sf: SourceFile, findings: list) -> None:
+    methods = "|".join(CONFIG["effect_methods"])
+    call_re = re.compile(r"\b(" + methods + r")\s*\(")
+    for m in call_re.finditer(sf.code):
+        # Walk back over the receiver chain (obj.a->b::c) to the start
+        # of the statement.
+        i = m.start() - 1
+        while i >= 0 and (sf.code[i].isalnum() or sf.code[i] in "_.:>-) \t\n"):
+            if sf.code[i] == ")":
+                break  # mid-expression, e.g. f(x).expire(...)
+            i -= 1
+        if i >= 0 and sf.code[i] not in ";{}":
+            continue  # assigned, returned, passed as an argument, ...
+        prefix = sf.code[i + 1 : m.start()].strip()
+        if re.search(r"\b(return|co_return|if|while|for|switch|case)\b", prefix):
+            continue
+        if "=" in prefix or "(" in prefix:
+            continue
+        # A statement-position call is `method(...)` or `recv.method(...)`;
+        # anything else directly before the name is a return type, i.e.
+        # this is a declaration, not a call.
+        if prefix and not prefix.endswith((".", "->", "::")):
+            continue
+        # Bare statement: `obj.method(...);` with the result dropped.
+        end = match_paren(sf.code, m.end() - 1)
+        rest = sf.code[end + 1 : end + 4].lstrip()
+        if not rest.startswith(";") and not rest.startswith("."):
+            continue
+        if rest.startswith("."):
+            continue  # chained: result is consumed
+        findings.append(
+            Finding("discarded-effect", sf.path, sf.line_of(m.start()),
+                    f"result of `{m.group(1)}()` discarded; protocol-effect "
+                    "values must be consumed ([[nodiscard]] enforces this in "
+                    "the build too)")
+        )
+
+
+# --------------------------------------------------------------------------
+# Check: bare-suppression
+# --------------------------------------------------------------------------
+
+def check_suppressions(sf: SourceFile, findings: list) -> None:
+    for s in sf.suppressions:
+        if s.tag not in KNOWN_TAGS:
+            findings.append(
+                Finding("bare-suppression", sf.path, s.line,
+                        f"unknown lint tag `{s.tag}` (known: "
+                        f"{', '.join(KNOWN_TAGS)})")
+            )
+        elif not s.justified:
+            findings.append(
+                Finding("bare-suppression", sf.path, s.line,
+                        f"`lint: {s.tag}` needs a (justification)")
+            )
+
+
+# --------------------------------------------------------------------------
+# Self-test: every violation class has a fixture that must trip exactly
+# its own check, plus a clean positive control. Run by ctest
+# (`scripts/lint.sh --self-test`) so a silently broken lint fails CI.
+# --------------------------------------------------------------------------
+
+SELF_TESTS = {
+    "unordered_effectful_loop.cpp": {"unordered-effectful-loop"},
+    "banned_constructs.cpp": {"banned-construct"},
+    "uninitialized_message_pod.cpp": {"uninitialized-message-pod"},
+    "discarded_effects.cpp": {"discarded-effect"},
+    "bare_suppression.cpp": {"bare-suppression"},
+    "clean.cpp": set(),
+}
+
+#: Minimum finding count per fixture (a check that fires once when the
+#: fixture plants four violations is broken too).
+SELF_TEST_MIN_COUNTS = {
+    "banned_constructs.cpp": 4,       # rand, time, new, delete
+    "uninitialized_message_pod.cpp": 2,  # seq, urgent
+}
+
+
+def self_test(root: str) -> int:
+    fixture_dir = os.path.join(root, "tests", "lint_fixtures")
+    failures = []
+    for name, expected in sorted(SELF_TESTS.items()):
+        path = os.path.join(fixture_dir, name)
+        if not os.path.exists(path):
+            failures.append(f"{name}: fixture missing")
+            continue
+        findings = run(root, [path])
+        fired = {f.check for f in findings}
+        missing = expected - fired
+        unexpected = fired - expected
+        if missing:
+            failures.append(f"{name}: expected check(s) did not fire: "
+                            f"{sorted(missing)}")
+        if unexpected:
+            failures.append(f"{name}: unexpected check(s) fired: "
+                            f"{sorted(unexpected)} — "
+                            + "; ".join(f.render() for f in findings
+                                        if f.check in unexpected))
+        want = SELF_TEST_MIN_COUNTS.get(name)
+        if want is not None and len(findings) < want:
+            failures.append(f"{name}: expected >= {want} findings, "
+                            f"got {len(findings)}")
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL {f}")
+        return 1
+    print(f"detlint self-test: {len(SELF_TESTS)} fixtures OK")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def iter_sources(root: str, dirs: list):
+    for d in dirs:
+        base = os.path.join(root, d)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    yield os.path.join(dirpath, name)
+
+
+def run(root: str, paths=None) -> list:
+    findings: list[Finding] = []
+    if paths:
+        files = [cpp_scan.load(p) for p in paths]
+    else:
+        files = [cpp_scan.load(p) for p in iter_sources(root, CONFIG["src_dirs"])]
+    variables, accessors = collect_unordered_names(files)
+
+    msg_files = {os.path.normpath(os.path.join(root, p))
+                 for p in CONFIG["message_struct_files"]}
+    clock_dirs = tuple(os.path.normpath(os.path.join(root, d)) + os.sep
+                       for d in CONFIG["clock_dirs"])
+
+    for sf in files:
+        norm = os.path.normpath(os.path.abspath(sf.path))
+        ban_clocks = paths is not None or norm.startswith(clock_dirs)
+        check_unordered_loops(sf, variables, accessors, findings)
+        check_banned(sf, ban_clocks, findings)
+        if paths is not None or norm in msg_files:
+            check_message_pods(sf, findings)
+        check_discarded_effects(sf, findings)
+        check_suppressions(sf, findings)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+    return findings
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help="lint only these files (all checks apply); "
+                    "default: sweep the configured source dirs")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the lints against tests/lint_fixtures/ and "
+                    "assert each violation class is caught")
+    args = ap.parse_args(argv)
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    if args.self_test:
+        return self_test(root)
+    findings = run(root, args.paths or None)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"detlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

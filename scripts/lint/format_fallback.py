@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Whitespace hygiene gate for when clang-format is not installed.
+
+Checks only the invariants no formatter config could disagree with:
+trailing whitespace, hard tabs in C++ sources, CRLF line endings, and
+a missing final newline. scripts/format_check.sh prefers clang-format
+(.clang-format at the repo root) when available and falls back to this.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+EXTS = (".hpp", ".cpp", ".h", ".cc")
+DIRS = ("src", "tests", "bench", "examples")
+
+
+def check_file(path: str) -> list[str]:
+    problems = []
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if not data:
+        return problems
+    if b"\r\n" in data:
+        problems.append(f"{path}: CRLF line endings")
+    if not data.endswith(b"\n"):
+        problems.append(f"{path}: missing final newline")
+    for i, line in enumerate(data.split(b"\n"), start=1):
+        if line.rstrip(b"\r") != line.rstrip():
+            problems.append(f"{path}:{i}: trailing whitespace")
+        if b"\t" in line:
+            problems.append(f"{path}:{i}: hard tab")
+    return problems
+
+
+def main() -> int:
+    root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    problems: list[str] = []
+    for d in DIRS:
+        base = os.path.join(root, d)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            if "lint_fixtures" in dirpath:
+                pass  # fixtures are real sources too; hold them to the bar
+            for name in sorted(filenames):
+                if name.endswith(EXTS):
+                    problems.extend(check_file(os.path.join(dirpath, name)))
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"format_fallback: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
 #include "audit/invariants.hpp"
 
+#include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "express/host.hpp"
@@ -10,6 +11,7 @@
 #include "express/subscription.hpp"
 #include "net/adjacency.hpp"
 #include "net/network.hpp"
+#include "sim/det.hpp"
 
 namespace express::audit {
 
@@ -17,8 +19,10 @@ namespace {
 
 struct Walk {
   const net::Network* network = nullptr;
-  std::unordered_map<net::NodeId, const ExpressRouter*> routers;
-  std::unordered_map<net::NodeId, const ExpressHost*> hosts;
+  // Ordered maps: the walk appends violations while it iterates, and a
+  // reproducible audit report is itself one of the guarantees under test.
+  std::map<net::NodeId, const ExpressRouter*> routers;
+  std::map<net::NodeId, const ExpressHost*> hosts;
   AuditReport report;
 
   void flag(Check check, net::NodeId router, const ip::ChannelId& channel,
@@ -146,8 +150,8 @@ void check_rpf(Walk& w, net::NodeId self, const ExpressRouter& router,
 // --- (c) orphan forwarding state -------------------------------------
 
 void check_orphans(Walk& w, net::NodeId self, const ExpressRouter& router) {
-  const auto& channels = router.subscriptions().channels();
-  for (const auto& [channel, state] : channels) {
+  for (const auto* kv : det::sorted_items(router.subscriptions().channels())) {
+    const auto& [channel, state] = *kv;
     const std::int64_t subtree = state.subtree_count();
     if (subtree <= 0) {
       w.flag(Check::kOrphanState, self, channel,
@@ -179,7 +183,8 @@ void check_orphans(Walk& w, net::NodeId self, const ExpressRouter& router) {
              "FIB replication set does not match the member interfaces");
     }
   }
-  for (const auto& [channel, entry] : router.fib().entries()) {
+  for (const auto* kv : det::sorted_items(router.fib().entries())) {
+    const auto& channel = kv->first;
     if (!router.subscriptions().contains(channel)) {
       w.flag(Check::kOrphanState, self, channel,
              "FIB entry without membership state");
@@ -193,8 +198,9 @@ void check_loops(Walk& w) {
   // Per channel, upstream pointers must form a forest: walk from every
   // on-tree router toward the source; a revisit inside one walk is a
   // loop. Colors memoize finished walks so the pass stays linear.
-  std::unordered_set<ip::ChannelId> channels;
+  std::set<ip::ChannelId> channels;
   for (const auto& [id, router] : w.routers) {
+    // lint: order-independent (set union is commutative)
     for (const auto& [channel, state] : router->subscriptions().channels()) {
       channels.insert(channel);
     }
@@ -283,7 +289,8 @@ AuditReport InvariantAuditor::run() const {
 
   for (const auto& [id, router] : w.routers) {
     ++w.report.routers_audited;
-    for (const auto& [channel, state] : router->subscriptions().channels()) {
+    for (const auto* kv : det::sorted_items(router->subscriptions().channels())) {
+      const auto& [channel, state] = *kv;
       ++w.report.channels_audited;
       check_conservation(w, id, *router, channel, state);
       check_rpf(w, id, *router, channel, state);

@@ -104,6 +104,7 @@ void CbtRouter::inject(const net::Packet& packet, std::uint32_t except_iface) {
     return;
   }
   net::InterfaceSet set;
+  // lint: order-independent (bitmap build is commutative)
   for (std::uint32_t iface : it->second.ifaces) set.set(iface);
   net::ReplicateOptions opts;
   opts.exclude_iface = except_iface;

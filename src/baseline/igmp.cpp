@@ -54,12 +54,14 @@ bool SourceFilter::accepts(ip::Address source) const {
 void SourceFilter::merge(const SourceFilter& other) {
   // RFC 3376: the interface must accept anything either record accepts.
   if (mode_ == Mode::kInclude && other.mode_ == Mode::kInclude) {
+    // lint: order-independent (set union is commutative)
     for (ip::Address s : other.sources_) sources_.insert(s);
     return;
   }
   if (mode_ == Mode::kExclude && other.mode_ == Mode::kExclude) {
     // EXCLUDE(A) union EXCLUDE(B) accepts ~A or ~B = ~(A intersect B).
     std::unordered_set<ip::Address> intersection;
+    // lint: order-independent (set intersection is commutative)
     for (ip::Address s : sources_) {
       if (other.sources_.contains(s)) intersection.insert(s);
     }
@@ -70,6 +72,7 @@ void SourceFilter::merge(const SourceFilter& other) {
   const SourceFilter& excl = (mode_ == Mode::kExclude) ? *this : other;
   const SourceFilter& incl = (mode_ == Mode::kExclude) ? other : *this;
   std::unordered_set<ip::Address> remaining;
+  // lint: order-independent (set difference is commutative)
   for (ip::Address s : excl.sources_) {
     if (!incl.sources_.contains(s)) remaining.insert(s);
   }

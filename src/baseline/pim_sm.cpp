@@ -153,6 +153,7 @@ void PimSmRouter::deliver(const net::Packet& packet,
                           const std::unordered_set<std::uint32_t>& oifs,
                           std::uint32_t in_iface) {
   net::InterfaceSet set;
+  // lint: order-independent (bitmap build is commutative)
   for (std::uint32_t iface : oifs) set.set(iface);
   net::ReplicateOptions opts;
   opts.exclude_iface = in_iface;
@@ -169,6 +170,7 @@ void PimSmRouter::maybe_spt_switchover(const net::Packet& packet) {
   switched_.insert(sg);
   // Join the source tree with our member interfaces as the initial oifs.
   Sg& state = sg_[sg];
+  // lint: order-independent (set union is commutative)
   for (std::uint32_t iface : member->second) state.oifs.insert(iface);
   join_source_tree(sg);
   // RPT-prune this source off the shared tree.
@@ -195,9 +197,11 @@ std::unordered_set<std::uint32_t> PimSmRouter::inherited_oifs(
     oifs = star->second.oifs;
   }
   if (auto pruned = rpt_pruned_.find(sg); pruned != rpt_pruned_.end()) {
+    // lint: order-independent (set difference is commutative)
     for (std::uint32_t iface : pruned->second) oifs.erase(iface);
   }
   if (auto it = sg_.find(sg); it != sg_.end()) {
+    // lint: order-independent (set union is commutative)
     for (std::uint32_t iface : it->second.oifs) oifs.insert(iface);
   }
   return oifs;

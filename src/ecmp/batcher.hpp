@@ -16,6 +16,7 @@
 
 #include "ecmp/codec.hpp"
 #include "net/topology.hpp"
+#include "sim/det.hpp"
 #include "sim/scheduler.hpp"
 
 namespace express::ecmp {
@@ -32,6 +33,7 @@ class Batcher {
   Batcher(const Batcher&) = delete;
   Batcher& operator=(const Batcher&) = delete;
   ~Batcher() {
+    // lint: order-independent (timer cancellations commute)
     for (auto& [neighbor, q] : queues_) q.timer.cancel();
   }
 
@@ -75,13 +77,9 @@ class Batcher {
   /// directly would make packet-emission order depend on the hash
   /// implementation, breaking bit-for-bit determinism across platforms.
   void flush_all() {
-    std::vector<net::NodeId> neighbors;
-    neighbors.reserve(queues_.size());
-    for (const auto& [neighbor, q] : queues_) {
-      if (!q.bytes.empty()) neighbors.push_back(neighbor);
+    for (net::NodeId neighbor : det::sorted_keys(queues_)) {
+      flush_now(neighbor);  // no-op for queues that are already empty
     }
-    std::sort(neighbors.begin(), neighbors.end());
-    for (net::NodeId neighbor : neighbors) flush_now(neighbor);
   }
 
   [[nodiscard]] std::uint64_t segments_sent() const { return segments_sent_; }

@@ -13,7 +13,9 @@ constexpr sim::Duration kMinQueryTimeout = sim::milliseconds(10);
 }  // namespace
 
 CountingEngine::~CountingEngine() {
+  // lint: order-independent (timer cancellations commute)
   for (auto& [key, round] : pending_) round.timer.cancel();
+  // lint: order-independent (timer cancellations commute)
   for (auto& [channel, p] : proactive_) p.check.cancel();
 }
 

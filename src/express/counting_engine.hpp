@@ -39,7 +39,7 @@ struct CountingStats {
 };
 
 /// Aggregate result of a count collection.
-struct CountResult {
+struct [[nodiscard]] CountResult {
   std::int64_t count = 0;
   bool complete = false;  ///< false when assembled from a partial timeout
 };

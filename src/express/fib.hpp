@@ -23,10 +23,10 @@ namespace express {
 
 /// Fig. 5: | source 32b | dest 24b | iif 5b (byte here) | oifs 32b | = 12 B.
 struct PackedFibEntry {
-  std::uint32_t source;
-  std::uint8_t dest24[3];  ///< channel index within 232/8
-  std::uint8_t iif;        ///< incoming (RPF) interface, 5 bits used
-  std::uint32_t oifs;      ///< outgoing interface bitmap
+  std::uint32_t source = 0;
+  std::uint8_t dest24[3] = {0, 0, 0};  ///< channel index within 232/8
+  std::uint8_t iif = 0;   ///< incoming (RPF) interface, 5 bits used
+  std::uint32_t oifs = 0;  ///< outgoing interface bitmap
 };
 static_assert(sizeof(PackedFibEntry) == 12, "Fig. 5 fixes the entry at 12 bytes");
 

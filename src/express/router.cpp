@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/adjacency.hpp"
+#include "sim/det.hpp"
 
 namespace express {
 
@@ -98,7 +99,10 @@ void ExpressRouter::handle_ecmp(const net::Packet& packet,
 }
 
 void ExpressRouter::reannounce_to(net::NodeId to) {
-  for (const auto& [channel, state] : table_.channels()) {
+  // Re-announcements stream over one connection: emit them in channel
+  // order so the wire trace replays identically run-to-run.
+  for (const auto* kv : det::sorted_items(table_.channels())) {
+    const auto& [channel, state] = *kv;
     if (state.upstream != to || state.advertised_upstream == 0) continue;
     send_count(to, channel, state.subtree_count(), state.cached_key);
   }

@@ -7,6 +7,7 @@
 
 #include "express/router.hpp"
 #include "net/adjacency.hpp"
+#include "sim/det.hpp"
 
 namespace express {
 
@@ -44,8 +45,12 @@ void ExpressRouter::neighbor_died(net::NodeId neighbor) {
   // §3.2 TCP mode: the count associated with a failed connection is
   // subtracted from the sum provided upstream.
   std::vector<ip::ChannelId> affected;
-  for (const auto& [channel, state] : table_.channels()) {
-    if (state.downstream.contains(neighbor)) affected.push_back(channel);
+  // The zero-counts below mutate tree state and send prunes upstream in
+  // `affected` order: collect it sorted, not in hash order.
+  for (const auto* kv : det::sorted_items(table_.channels())) {
+    if (kv->second.downstream.contains(neighbor)) {
+      affected.push_back(kv->first);
+    }
   }
   for (const ip::ChannelId& channel : affected) {
     auto iface = network().topology().interface_to(id(), neighbor);
@@ -82,8 +87,12 @@ void ExpressRouter::on_routing_change() {
   }
 
   // Then re-evaluate the upstream of every remaining channel, with
-  // hysteresis to damp oscillation (§3.2).
-  for (auto& [channel, state] : table_.channels()) {
+  // hysteresis to damp oscillation (§3.2). The loop body sends Counts
+  // and arms hysteresis timers, so it must run in channel order; the
+  // snapshot also keeps the sweep safe when a re-announce empties and
+  // removes a channel mid-iteration.
+  for (auto* kv : det::sorted_items(table_.channels())) {
+    auto& [channel, state] = *kv;
     const net::NodeId src = source_node(channel);
     if (src == net::kInvalidNode) continue;
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/adjacency.hpp"
+#include "sim/det.hpp"
 
 namespace express {
 
@@ -250,7 +251,10 @@ std::vector<std::pair<ip::ChannelId, net::NodeId>>
 SubscriptionTable::collect_dead_children(const net::Network& network,
                                          net::NodeId self) const {
   std::vector<std::pair<ip::ChannelId, net::NodeId>> dead;
-  for (const auto& [channel, state] : channels_) {
+  // The caller replays `dead` as zero-count leaves, so its order is
+  // protocol-visible: iterate channels sorted, not in hash order.
+  for (const auto* kv : det::sorted_items(channels_)) {
+    const auto& [channel, state] = *kv;
     for (const auto& [neighbor, entry] : state.downstream) {
       auto direct = network.topology().interface_to(self, neighbor);
       if (direct) {
@@ -275,7 +279,11 @@ std::vector<UdpAction> SubscriptionTable::udp_refresh_actions(
   std::vector<UdpAction> actions;
   std::vector<UdpAction> expired;
   std::set<std::pair<ip::ChannelId, std::uint32_t>> lan_queried;
-  for (const auto& [channel, state] : channels_) {
+  // Queries/expirations execute in the returned order and the LAN-query
+  // dedup keeps only the first hit per (channel, wire): sorted iteration
+  // pins both to the channel/neighbor ids instead of the hash seed.
+  for (const auto* kv : det::sorted_items(channels_)) {
+    const auto& [channel, state] = *kv;
     for (const auto& [neighbor, entry] : state.downstream) {
       auto iface = net::iface_toward(network, self, neighbor);
       if (!iface || !iface_is_udp(*iface)) continue;
@@ -374,6 +382,7 @@ std::size_t SubscriptionTable::management_state_bytes() const {
   // neighbor plus one upstream record per channel, plus 8 bytes for a
   // cached key; the key registry costs 8 bytes per source.
   std::size_t bytes = 0;
+  // lint: order-independent (commutative sum over entries)
   for (const auto& [channel, state] : channels_) {
     bytes += 32 * (state.downstream.size() + 1);
     if (state.cached_key) bytes += 8;

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -50,7 +51,12 @@ struct DownstreamEntry {
 
 /// One channel's hard state at this router.
 struct Channel {
-  std::unordered_map<net::NodeId, DownstreamEntry> downstream;
+  /// Ordered by neighbor id: downstream sweeps emit messages and pick
+  /// retry keys, so iteration order is protocol-visible — a hash map
+  /// here would make accept/reject/rejoin behaviour depend on the hash
+  /// seed and insertion history (the nondeterminism class PR 3's
+  /// flush_all fix addressed dynamically; DESIGN.md §7 bans statically).
+  std::map<net::NodeId, DownstreamEntry> downstream;
   std::optional<ip::ChannelKey> cached_key;  ///< validated K(S,E)
   /// Key carried in our not-yet-validated upstream join: the upstream
   /// verdict applies to exactly this key, so concurrently accepted
@@ -76,7 +82,7 @@ enum class UpstreamSend : std::uint8_t {
   kDrift,  ///< aggregate changed: let the proactive engine decide
 };
 
-struct UpstreamPlan {
+struct [[nodiscard]] UpstreamPlan {
   UpstreamSend send = UpstreamSend::kNone;
   std::int64_t total = 0;
   std::optional<ip::ChannelKey> key;  ///< key to carry on a join
@@ -84,7 +90,7 @@ struct UpstreamPlan {
 };
 
 /// Effects of an upstream validation verdict (CountResponse).
-struct VerdictEffects {
+struct [[nodiscard]] VerdictEffects {
   std::vector<net::NodeId> accept;  ///< send kOk downstream
   std::vector<net::NodeId> reject;  ///< send kInvalidKey (entries erased)
   bool membership_changed = false;  ///< refresh FIB + notify observer
@@ -93,7 +99,7 @@ struct VerdictEffects {
   std::optional<ip::ChannelKey> rejoin_key;
 };
 
-struct RouteSwitch {
+struct [[nodiscard]] RouteSwitch {
   bool prune_old = false;  ///< send Count(0) to the previous upstream
   net::NodeId old_upstream = net::kInvalidNode;
   std::int64_t total = 0;

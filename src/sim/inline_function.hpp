@@ -41,6 +41,7 @@ class InlineFunction {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       ops_ = &kInlineOps<Fn>;
     } else {
+      // lint: allow-new (boxed fallback for oversized callables; counted)
       ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = &kBoxedOps<Fn>;
       boxed_constructions_.fetch_add(1, std::memory_order_relaxed);
@@ -114,6 +115,7 @@ class InlineFunction {
         ::new (dst) Fn*(*from);
         *from = nullptr;
       },
+      // lint: allow-new (destroys the boxed-fallback allocation above)
       [](void* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); },
   };
 

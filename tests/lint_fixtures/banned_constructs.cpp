@@ -1,0 +1,13 @@
+// Lint fixture: MUST trip `banned-construct` four ways — libc
+// randomness, a wall-clock read, raw new, raw delete. Never compiled;
+// consumed by `scripts/lint.sh --self-test`.
+#include <cstdlib>
+#include <ctime>
+
+int jitter() { return rand() % 7; }  // unseeded randomness breaks replay
+
+long wall() { return time(nullptr); }  // wall clock breaks replay
+
+int* boxed() { return new int(4); }  // heap churn outside the slab
+
+void drop(int* p) { delete p; }

@@ -1,0 +1,16 @@
+// Lint fixture: MUST trip `bare-suppression`. A suppression with no
+// written justification is itself a violation — the annotation exists
+// to record *why* the order cannot matter. Never compiled; consumed by
+// `scripts/lint.sh --self-test`.
+#include <unordered_map>
+
+struct Tally {
+  std::unordered_map<int, int> counts_;
+
+  int total() {
+    int sum = 0;
+    // lint: order-independent
+    for (const auto& [key, value] : counts_) sum += value;
+    return sum;
+  }
+};

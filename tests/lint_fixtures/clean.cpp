@@ -1,0 +1,28 @@
+// Lint fixture: MUST produce zero findings — the positive control that
+// the lints do not flag idiomatic deterministic code. Never compiled;
+// consumed by `scripts/lint.sh --self-test`.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+struct Wire {
+  std::uint32_t seq = 0;  // initialized POD member
+};
+
+struct Node {
+  std::map<int, int> peers_;  // ordered: iteration order is defined
+  std::unordered_map<int, int> cache_;
+
+  void send_to(int neighbor);
+
+  void announce_all() {
+    for (const auto& [peer, count] : peers_) send_to(peer);
+  }
+
+  int cached_total() const {
+    int sum = 0;
+    // lint: order-independent (sum is commutative)
+    for (const auto& [key, value] : cache_) sum += value;
+    return sum;
+  }
+};

@@ -1,0 +1,16 @@
+// Lint fixture: MUST trip `discarded-effect`. Dropping an UpstreamPlan
+// on the floor means dropping the join/prune it describes. The build
+// catches this via [[nodiscard]] + -Werror=unused-result; the lint
+// reports it without compiling. Never compiled; consumed by
+// `scripts/lint.sh --self-test`.
+struct Plan {
+  int total = 0;
+};
+
+struct Table {
+  Plan plan_upstream_update(int channel);
+
+  void tick() {
+    plan_upstream_update(7);  // effect silently dropped
+  }
+};

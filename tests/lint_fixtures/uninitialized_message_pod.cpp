@@ -1,0 +1,11 @@
+// Lint fixture: MUST trip `uninitialized-message-pod` twice (`seq` and
+// `urgent`); `kind` is fine. Uninitialized wire bytes make encoded
+// messages — and therefore traces — nondeterministic. Never compiled;
+// consumed by `scripts/lint.sh --self-test`.
+#include <cstdint>
+
+struct Hello {
+  std::uint32_t seq;       // flagged: no default initializer
+  std::uint8_t kind = 0;   // ok
+  bool urgent;             // flagged
+};

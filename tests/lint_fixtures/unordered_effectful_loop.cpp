@@ -1,0 +1,22 @@
+// Lint fixture: MUST trip `unordered-effectful-loop`.
+//
+// Iterating a hash map while emitting messages makes the packet trace
+// depend on the hash seed and insertion history — the exact bug class
+// behind PR 3's flush_all fix. Never compiled; consumed by
+// `scripts/lint.sh --self-test`.
+#include <unordered_map>
+
+struct Net {
+  void send_to(int neighbor);
+};
+
+struct Router {
+  std::unordered_map<int, int> peers_;
+  Net net_;
+
+  void announce_all() {
+    for (const auto& [peer, state] : peers_) {
+      net_.send_to(peer);  // emission order leaks hash order
+    }
+  }
+};

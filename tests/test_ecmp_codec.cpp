@@ -219,6 +219,25 @@ TEST(NeighborTable, ExpiresSilentNeighbors) {
   EXPECT_TRUE(t.is_alive(1));
 }
 
+TEST(NeighborTable, ExpireReturnsDeadSessionsInNeighborIdOrder) {
+  // Regression for the hash-order bug the determinism sweep fixed: the
+  // dead list drives death callbacks (count subtraction, upstream
+  // prunes), so its order is protocol-visible. It used to be whatever
+  // order the session hash map yielded; it must be ascending neighbor
+  // id regardless of when each session was first heard.
+  NeighborTable t;
+  t.heard_from(7, 0, sim::seconds(0));
+  t.heard_from(3, 1, sim::seconds(0));
+  t.heard_from(9, 2, sim::seconds(0));
+  t.heard_from(1, 3, sim::seconds(0));
+  auto dead = t.expire(sim::seconds(10), sim::seconds(5));
+  ASSERT_EQ(dead.size(), 4u);
+  EXPECT_EQ(dead[0].neighbor, 1u);
+  EXPECT_EQ(dead[1].neighbor, 3u);
+  EXPECT_EQ(dead[2].neighbor, 7u);
+  EXPECT_EQ(dead[3].neighbor, 9u);
+}
+
 TEST(NeighborTable, KillMarksDead) {
   NeighborTable t;
   t.heard_from(5, 2, sim::seconds(1));

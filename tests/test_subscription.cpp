@@ -13,6 +13,7 @@ const ip::ChannelId kCh{ip::Address(10, 0, 0, 1),
                         ip::Address::single_source(1)};
 constexpr ip::ChannelKey kKeyA = 0xAAAA;
 constexpr ip::ChannelKey kKeyB = 0xBBBB;
+constexpr ip::ChannelKey kKeyC = 0xCCCC;
 constexpr net::NodeId kChild1 = 11;
 constexpr net::NodeId kChild2 = 12;
 constexpr net::NodeId kUpstream = 20;
@@ -115,7 +116,10 @@ TEST(Subscription, InvalidVerdictRejectsSentKeyAndRetriesOther) {
   bool is_new = false;
   table.apply_join(state, kChild1, 1, kKeyA, /*decidable=*/false, sim::Time{0},
                    is_new);
-  table.plan_upstream_update(kCh, state, kKeyA, true);  // pending key = A
+  // The plan itself is not under test here; the call runs for its
+  // side effect of recording pending_sent_key = A.
+  const UpstreamPlan sent = table.plan_upstream_update(kCh, state, kKeyA, true);
+  EXPECT_EQ(sent.send, UpstreamSend::kJoin);
   table.apply_join(state, kChild2, 1, kKeyB, false, sim::Time{0}, is_new);
 
   // Upstream rejects key A: only the child that presented A is evicted;
@@ -132,12 +136,65 @@ TEST(Subscription, InvalidVerdictRejectsSentKeyAndRetriesOther) {
   EXPECT_EQ(table.stats().auth_rejects, 1u);
 
   // A second rejection (of key B) empties the channel.
-  table.plan_upstream_update(kCh, state, kKeyB, true);
+  const UpstreamPlan retry = table.plan_upstream_update(kCh, state, kKeyB, true);
+  EXPECT_EQ(retry.send, UpstreamSend::kJoin);
   const VerdictEffects gone = table.apply_upstream_verdict(kCh, false);
   ASSERT_EQ(gone.reject.size(), 1u);
   EXPECT_EQ(gone.reject[0], kChild2);
   EXPECT_TRUE(gone.channel_gone);
   EXPECT_FALSE(gone.rejoin);
+}
+
+TEST(Subscription, VerdictEffectsEmitInNeighborIdOrder) {
+  // Regression for the hash-order bug the determinism sweep fixed:
+  // downstream used to be an unordered_map, so the kOk / kInvalidKey
+  // message order (and thus the packet trace) depended on the hash seed
+  // and insertion history. With the ordered map, both lists come out
+  // ascending by neighbor id no matter how the children joined.
+  SubscriptionTable table;
+  bool created = false;
+  Channel& state = table.get_or_create(kCh, created);
+  state.upstream = kUpstream;
+
+  // Children join in scrambled id order, alternating keys.
+  bool is_new = false;
+  table.apply_join(state, 15, 1, kKeyB, /*decidable=*/false, sim::Time{0},
+                   is_new);
+  table.apply_join(state, 13, 1, kKeyA, false, sim::Time{0}, is_new);
+  table.apply_join(state, 14, 1, kKeyB, false, sim::Time{0}, is_new);
+  table.apply_join(state, 12, 1, kKeyA, false, sim::Time{0}, is_new);
+  const UpstreamPlan plan = table.plan_upstream_update(kCh, state, kKeyA, true);
+  EXPECT_EQ(plan.send, UpstreamSend::kJoin);  // pending_sent_key is now A
+
+  // The upstream accepts key A: the A-children validate, the B-children
+  // are rejected against the fresh cache — each list in id order.
+  const VerdictEffects fx = table.apply_upstream_verdict(kCh, true);
+  EXPECT_EQ(fx.accept, (std::vector<net::NodeId>{12, 13}));
+  EXPECT_EQ(fx.reject, (std::vector<net::NodeId>{14, 15}));
+}
+
+TEST(Subscription, RejectedVerdictRetriesLowestIdChildsKey) {
+  // Same regression class, rejection path: when several unvalidated
+  // keys remain after a rejection, the retry key used to be whichever
+  // entry the hash map yielded first. It must be the lowest-id child's.
+  SubscriptionTable table;
+  bool created = false;
+  Channel& state = table.get_or_create(kCh, created);
+  state.upstream = kUpstream;
+
+  bool is_new = false;
+  table.apply_join(state, 15, 1, kKeyB, /*decidable=*/false, sim::Time{0},
+                   is_new);
+  table.apply_join(state, 12, 1, kKeyC, false, sim::Time{0}, is_new);
+  table.apply_join(state, 13, 1, kKeyA, false, sim::Time{0}, is_new);
+  const UpstreamPlan plan = table.plan_upstream_update(kCh, state, kKeyA, true);
+  EXPECT_EQ(plan.send, UpstreamSend::kJoin);
+
+  const VerdictEffects fx = table.apply_upstream_verdict(kCh, false);
+  EXPECT_EQ(fx.reject, (std::vector<net::NodeId>{13}));
+  ASSERT_TRUE(fx.rejoin);
+  ASSERT_TRUE(fx.rejoin_key.has_value());
+  EXPECT_EQ(*fx.rejoin_key, kKeyC);  // child 12's key, not hash order
 }
 
 TEST(Subscription, PlanJoinPruneAndDrift) {
