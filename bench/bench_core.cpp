@@ -16,6 +16,12 @@
 //                   shape every §5/§6 experiment takes. Deterministic
 //                   packet/byte counters are reported so substrate
 //                   rewrites can prove they preserved behavior.
+//   4. fib        — (S,E) lookups/sec through the FlatFib vs the
+//                   node-based unordered_map the FIB used before the
+//                   flat rewrite, same probe stream for both.
+//   5. timer_wheel — scheduler events/sec on a refresh-timer-heavy
+//                   load, wheel-enabled vs heap-only (Scheduler(false)),
+//                   the workload shape the hierarchical wheel targets.
 //
 // Output: a human table on stdout and machine-readable JSON (default
 // BENCH_core.json in the working directory; see --out). Run from the
@@ -28,9 +34,11 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common.hpp"
+#include "express/fib.hpp"
 #include "express/testbed.hpp"
 #include "legacy_core.hpp"
 #include "sim/random.hpp"
@@ -129,6 +137,156 @@ SchedulerScore measure_scheduler_legacy(std::uint64_t target_events) {
   }
   const double secs = elapsed_s(t0);
   return {static_cast<double>(fired) / secs, fired};
+}
+
+// ---------------------------------------------------------------------
+// 1b. FIB lookup: FlatFib vs unordered_map reference
+// ---------------------------------------------------------------------
+
+struct FibScore {
+  double lookups_per_sec = 0;
+  double unordered_lookups_per_sec = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t found = 0;  ///< hit count (keeps the loops honest)
+};
+
+/// The pre-rewrite FIB shape: identical lookup semantics over the
+/// node-allocating container the flat table replaced.
+struct UnorderedFibRef {
+  std::unordered_map<ip::ChannelId, FibEntry> table;
+  FibStats stats;
+  const InterfaceSet* lookup(const ip::ChannelId& ch, std::uint32_t iif) {
+    ++stats.lookups;
+    auto it = table.find(ch);
+    if (it == table.end()) {
+      ++stats.no_entry_drops;
+      return nullptr;
+    }
+    if (it->second.iif != iif) {
+      ++stats.rpf_drops;
+      return nullptr;
+    }
+    ++stats.hits;
+    return &it->second.oifs;
+  }
+};
+
+ip::ChannelId fib_probe_channel(std::uint32_t k) {
+  return ip::ChannelId{ip::Address{0x0A000000u + (k % 251u)},
+                       ip::Address::single_source(k)};
+}
+
+template <typename FibLike>
+double fib_probe_rate(FibLike& fib, std::uint32_t entries,
+                      std::uint64_t lookups, std::uint64_t* found) {
+  // LCG-strided probe stream, ~1 miss in 4 (the churn scenario's mix of
+  // forwarding hits and no-entry/RPF drops), identical for both tables.
+  const std::uint32_t key_space = entries + entries / 3;
+  std::uint32_t x = 12345;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < lookups; ++i) {
+    x = x * 1664525u + 1013904223u;
+    const std::uint32_t k = (x >> 8) % key_space;
+    if (fib.lookup(fib_probe_channel(k), k % 8u) != nullptr) ++*found;
+  }
+  return static_cast<double>(lookups) / elapsed_s(t0);
+}
+
+FibScore measure_fib(bool quick) {
+  const std::uint32_t entries = quick ? 20'000 : 100'000;
+  const std::uint64_t lookups = quick ? 1'000'000 : 10'000'000;
+  express::Fib flat;
+  UnorderedFibRef ref;
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    const ip::ChannelId ch = fib_probe_channel(i);
+    FibEntry& e = flat.upsert(ch);
+    e.iif = i % 8u;
+    e.oifs.set((i % 8u) + 1u);
+    ref.table[ch] = e;
+  }
+  FibScore score;
+  score.entries = entries;
+  // Interleaved best-of rounds, same discipline as the scheduler A/B.
+  std::uint64_t flat_found = 0;
+  std::uint64_t ref_found = 0;
+  for (int round = 0; round < (quick ? 1 : 3); ++round) {
+    flat_found = 0;
+    ref_found = 0;
+    const double a = fib_probe_rate(flat, entries, lookups, &flat_found);
+    const double b = fib_probe_rate(ref, entries, lookups, &ref_found);
+    if (a > score.lookups_per_sec) score.lookups_per_sec = a;
+    if (b > score.unordered_lookups_per_sec) {
+      score.unordered_lookups_per_sec = b;
+    }
+  }
+  if (flat_found != ref_found) {
+    std::fprintf(stderr, "bench_core: FIB probe divergence (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(flat_found),
+                 static_cast<unsigned long long>(ref_found));
+  }
+  score.found = flat_found;
+  return score;
+}
+
+// ---------------------------------------------------------------------
+// 1c. Timer wheel vs heap-only scheduler
+// ---------------------------------------------------------------------
+
+struct WheelScore {
+  double events_per_sec = 0;
+  double heap_only_events_per_sec = 0;
+  std::uint64_t fired = 0;
+};
+
+double timer_load_rate(bool use_wheel, std::uint32_t timers,
+                       std::uint32_t periods, std::uint64_t* fired_out) {
+  // The load the wheel exists for: a standing population of periodic
+  // 30 s refresh timers (UDP soft-state refresh, counting timeouts).
+  // Heap-only re-arms sift through a `timers`-deep heap on every fire;
+  // the wheel parks each re-arm at O(1) and cascades lazily.
+  sim::Scheduler s(use_wheel);
+  std::uint64_t fired = 0;
+  struct Refresh {
+    sim::Scheduler* s;
+    std::uint64_t* fired;
+    void operator()() const {
+      ++*fired;
+      s->schedule_after(sim::seconds(30), *this);
+    }
+  };
+  const std::int64_t spread = sim::seconds(30).count();
+  for (std::uint32_t i = 0; i < timers; ++i) {
+    const sim::Time first{1 + (spread * i) / timers};
+    s.schedule_at(first, Refresh{&s, &fired});
+  }
+  const auto t0 = Clock::now();
+  s.run_until(sim::seconds(30) * periods);
+  const double secs = elapsed_s(t0);
+  *fired_out = fired;
+  return static_cast<double>(fired) / secs;
+}
+
+WheelScore measure_timer_wheel(bool quick) {
+  const std::uint32_t timers = quick ? 5'000 : 20'000;
+  const std::uint32_t periods = quick ? 10 : 25;
+  WheelScore score;
+  std::uint64_t fired_wheel = 0;
+  std::uint64_t fired_heap = 0;
+  for (int round = 0; round < (quick ? 1 : 3); ++round) {
+    const double a = timer_load_rate(true, timers, periods, &fired_wheel);
+    const double b = timer_load_rate(false, timers, periods, &fired_heap);
+    if (a > score.events_per_sec) score.events_per_sec = a;
+    if (b > score.heap_only_events_per_sec) {
+      score.heap_only_events_per_sec = b;
+    }
+  }
+  if (fired_wheel != fired_heap) {
+    std::fprintf(stderr, "bench_core: timer load divergence (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(fired_wheel),
+                 static_cast<unsigned long long>(fired_heap));
+  }
+  score.fired = fired_wheel;
+  return score;
 }
 
 // ---------------------------------------------------------------------
@@ -252,7 +410,8 @@ ChurnScore measure_churn(bool quick) {
 // ---------------------------------------------------------------------
 
 void write_json(const std::string& path, bool quick, const SchedulerScore& nw,
-                const SchedulerScore& old, const FanoutScore& fan,
+                const SchedulerScore& old, const FibScore& fib,
+                const WheelScore& wheel, const FanoutScore& fan,
                 const ChurnScore& churn) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -270,6 +429,24 @@ void write_json(const std::string& path, bool quick, const SchedulerScore& nw,
                nw.events_per_sec / old.events_per_sec);
   std::fprintf(f, "    \"events\": %llu\n",
                static_cast<unsigned long long>(nw.fired));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fib\": {\n");
+  std::fprintf(f, "    \"entries\": %llu,\n",
+               static_cast<unsigned long long>(fib.entries));
+  std::fprintf(f, "    \"lookups_per_sec\": %.0f,\n", fib.lookups_per_sec);
+  std::fprintf(f, "    \"unordered_lookups_per_sec\": %.0f,\n",
+               fib.unordered_lookups_per_sec);
+  std::fprintf(f, "    \"speedup_vs_unordered\": %.2f\n",
+               fib.lookups_per_sec / fib.unordered_lookups_per_sec);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"timer_wheel\": {\n");
+  std::fprintf(f, "    \"events_per_sec\": %.0f,\n", wheel.events_per_sec);
+  std::fprintf(f, "    \"heap_only_events_per_sec\": %.0f,\n",
+               wheel.heap_only_events_per_sec);
+  std::fprintf(f, "    \"speedup_vs_heap\": %.2f,\n",
+               wheel.events_per_sec / wheel.heap_only_events_per_sec);
+  std::fprintf(f, "    \"events\": %llu\n",
+               static_cast<unsigned long long>(wheel.fired));
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fanout\": {\n");
   std::fprintf(f, "    \"ns_per_hop\": %.1f,\n", fan.ns_per_hop);
@@ -371,6 +548,8 @@ int main(int argc, char** argv) {
     if (b.events_per_sec > old.events_per_sec) old = b;
   }
 
+  const FibScore fib = measure_fib(quick);
+  const WheelScore wheel = measure_timer_wheel(quick);
   const FanoutScore fan = measure_fanout(quick ? 200 : 2000);
   const ChurnScore churn = measure_churn(quick);
 
@@ -380,6 +559,18 @@ int main(int argc, char** argv) {
              fmt(old.events_per_sec / 1e6, 2) + "M"});
   table.row({"scheduler", "speedup vs legacy",
              fmt(nw.events_per_sec / old.events_per_sec, 2) + "x"});
+  table.row({"fib", "lookups/sec", fmt(fib.lookups_per_sec / 1e6, 2) + "M"});
+  table.row({"fib", "unordered_map lookups/sec",
+             fmt(fib.unordered_lookups_per_sec / 1e6, 2) + "M"});
+  table.row({"fib", "speedup vs unordered",
+             fmt(fib.lookups_per_sec / fib.unordered_lookups_per_sec, 2) + "x"});
+  table.row({"timer_wheel", "events/sec",
+             fmt(wheel.events_per_sec / 1e6, 2) + "M"});
+  table.row({"timer_wheel", "heap-only events/sec",
+             fmt(wheel.heap_only_events_per_sec / 1e6, 2) + "M"});
+  table.row({"timer_wheel", "speedup vs heap",
+             fmt(wheel.events_per_sec / wheel.heap_only_events_per_sec, 2) +
+                 "x"});
   table.row({"fanout", "ns/hop", fmt(fan.ns_per_hop, 1)});
   table.row({"fanout", "hops", fmt_int(fan.hops)});
   table.row({"churn", "subscribers", fmt_int(churn.subscribers)});
@@ -402,6 +593,6 @@ int main(int argc, char** argv) {
   note("scheduler speedup is measured live against the seed replica;");
   note("fanout/churn seed baselines were captured at the seed commit.");
 
-  write_json(out, quick, nw, old, fan, churn);
+  write_json(out, quick, nw, old, fib, wheel, fan, churn);
   return 0;
 }

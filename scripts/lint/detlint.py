@@ -135,6 +135,12 @@ class Finding:
 # --------------------------------------------------------------------------
 
 UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+
+#: The FlatFib (aliased `Fib`) is unordered for lint purposes too: its
+#: entries() view is in open-addressed table order — deterministic, but a
+#: function of the whole upsert/erase history, so effectful iteration
+#: without det::sorted_* is the same replay hazard as a hash map.
+FLATFIB_DECL_RE = re.compile(r"\b(?:FlatFib|Fib)\b")
 IDENT_RE = re.compile(r"[A-Za-z_]\w*")
 
 
@@ -166,6 +172,19 @@ def collect_unordered_names(files: list[SourceFile]) -> tuple[set, set]:
         for m in UNORDERED_DECL_RE.finditer(sf.code):
             end = skip_template_args(sf.code, m.end() - 1)
             rest = sf.code[end : end + 160]
+            rm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*(\(|[;={])", rest)
+            if not rm:
+                continue
+            name, tail = rm.group(1), rm.group(2)
+            if tail == "(":
+                accessors.add(name)
+            else:
+                variables.add(name)
+        for m in FLATFIB_DECL_RE.finditer(sf.code):
+            # Same declaration shapes as above; `Fib::method` definitions,
+            # `class FlatFib {` and `using Fib = ...` yield no identifier
+            # and fall through.
+            rest = sf.code[m.end() : m.end() + 160]
             rm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*(\(|[;={])", rest)
             if not rm:
                 continue
@@ -404,6 +423,7 @@ def check_suppressions(sf: SourceFile, findings: list) -> None:
 
 SELF_TESTS = {
     "unordered_effectful_loop.cpp": {"unordered-effectful-loop"},
+    "flat_fib_loop.cpp": {"unordered-effectful-loop"},
     "banned_constructs.cpp": {"banned-construct"},
     "uninitialized_message_pod.cpp": {"uninitialized-message-pod"},
     "discarded_effects.cpp": {"discarded-effect"},

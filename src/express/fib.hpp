@@ -10,11 +10,29 @@
 //
 // PackedFibEntry is the paper's Fig. 5 hardware format: 12 bytes
 // assuming <= 32 interfaces, the basis of the §5.1 memory-cost analysis.
+//
+// FlatFib is the software analogue of that hardware table: an
+// open-addressed, power-of-two hash whose probe key is the packed
+// 64-bit (source, dest) word — for single-source channels the high
+// byte of dest is the constant 232/8 prefix, so the key is effectively
+// (source 32b, dest24) as in Fig. 5. The index is two parallel flat
+// arrays (key word + dense position, 12 bytes per slot, no heap nodes);
+// entries themselves live contiguously in a dense vector so a lookup
+// is one mix, a short linear probe, and a single indexed load.
+// Deletion is tombstone-free: the index backward-shifts the probe
+// chain and the dense store swap-removes.
+//
+// Iteration-order contract: entries() exposes the dense store, whose
+// order is a deterministic function of the upsert/erase history (NOT
+// sorted, NOT insertion order once erase has run). Effectful iteration
+// must go through det::sorted_items — detlint enforces this, same as
+// for unordered_map.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "express/interface_set.hpp"
 #include "ip/channel.hpp"
@@ -37,50 +55,101 @@ struct FibEntry {
 
 struct FibStats {
   std::uint64_t lookups = 0;
-  std::uint64_t hits = 0;
+  std::uint64_t hits = 0;            ///< counted once per lookup() call
   std::uint64_t no_entry_drops = 0;  ///< counted-and-dropped (no match)
   std::uint64_t rpf_drops = 0;       ///< matched but wrong arrival interface
 };
 
-class Fib {
+class FlatFib {
  public:
-  /// Insert or overwrite the entry for `channel`.
-  FibEntry& upsert(const ip::ChannelId& channel) { return entries_[channel]; }
+  /// Insert or return the entry for `channel`. The reference (like any
+  /// find() result) is invalidated by the next upsert or erase.
+  FibEntry& upsert(const ip::ChannelId& channel);
 
-  void erase(const ip::ChannelId& channel) { entries_.erase(channel); }
+  void erase(const ip::ChannelId& channel);
 
+  /// Pure probe: never touches the stats counters, so control-plane
+  /// peeks cannot inflate the hit rate (stats are per lookup(), not
+  /// per probe).
   [[nodiscard]] const FibEntry* find(const ip::ChannelId& channel) const {
-    auto it = entries_.find(channel);
-    return it == entries_.end() ? nullptr : &it->second;
+    const std::uint32_t slot = find_slot(key_of(channel));
+    return slot == kNotFound ? nullptr : &dense_[pos_[slot]].second;
   }
 
   [[nodiscard]] FibEntry* find(const ip::ChannelId& channel) {
-    auto it = entries_.find(channel);
-    return it == entries_.end() ? nullptr : &it->second;
+    const std::uint32_t slot = find_slot(key_of(channel));
+    return slot == kNotFound ? nullptr : &dense_[pos_[slot]].second;
   }
 
   /// Fast-path lookup: returns the replication set when the packet
-  /// should be forwarded, nullopt when it must be dropped (either no
-  /// entry or RPF failure). Updates the drop counters.
+  /// should be forwarded, nullptr when it must be dropped (either no
+  /// entry or RPF failure). Exactly one probe and one stats update per
+  /// call, regardless of how often find() ran on the same packet.
   [[nodiscard]] const InterfaceSet* lookup(const ip::ChannelId& channel,
                                            std::uint32_t in_iface);
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const { return dense_.size(); }
   [[nodiscard]] const FibStats& stats() const { return stats_; }
 
   /// Bytes this FIB would occupy in the Fig. 5 packed format.
   [[nodiscard]] std::size_t packed_bytes() const {
-    return entries_.size() * sizeof(PackedFibEntry);
+    return dense_.size() * sizeof(PackedFibEntry);
   }
 
-  [[nodiscard]] const std::unordered_map<ip::ChannelId, FibEntry>& entries() const {
-    return entries_;
+  /// The dense entry store, in table order (deterministic but
+  /// history-dependent; see the header comment). Wrap in
+  /// det::sorted_items before any effectful iteration.
+  [[nodiscard]] const std::vector<std::pair<ip::ChannelId, FibEntry>>&
+  entries() const {
+    return dense_;
   }
 
  private:
-  std::unordered_map<ip::ChannelId, FibEntry> entries_;
+  static constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
+  static constexpr std::uint32_t kNotFound = ~std::uint32_t{0};
+
+  /// Packed probe key: | source 32b | dest 32b |. Bijective on the
+  /// channel id, so slots store the key word and never re-compare ids.
+  static std::uint64_t key_of(const ip::ChannelId& channel) {
+    return (std::uint64_t{channel.source.value()} << 32) |
+           std::uint64_t{channel.dest.value()};
+  }
+
+  /// splitmix64 finalizer — same mix as std::hash<ip::ChannelId>.
+  static std::uint64_t mix(std::uint64_t key) {
+    key ^= key >> 33;
+    key *= 0xFF51AFD7ED558CCDull;
+    key ^= key >> 33;
+    key *= 0xC4CEB9FE1A85EC53ull;
+    key ^= key >> 33;
+    return key;
+  }
+
+  /// Linear probe for an occupied slot holding `key`.
+  [[nodiscard]] std::uint32_t find_slot(std::uint64_t key) const {
+    if (keys_.empty()) return kNotFound;
+    std::uint64_t slot = mix(key) & mask_;
+    while (keys_[slot] != kEmptySlot) {
+      if (keys_[slot] == key) return static_cast<std::uint32_t>(slot);
+      slot = (slot + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  void grow_index();
+
+  /// Dense entry store; index slots point into it by position.
+  std::vector<std::pair<ip::ChannelId, FibEntry>> dense_;
+  std::vector<std::uint64_t> keys_;  ///< packed key per slot, kEmptySlot if free
+  std::vector<std::uint32_t> pos_;   ///< dense_ position per occupied slot
+  std::uint64_t mask_ = 0;           ///< keys_.size() - 1 (power of two)
   FibStats stats_;
 };
+
+/// The FIB used throughout the stack (forwarding plane, baselines,
+/// audit). Kept as an alias so call sites read `Fib` while detlint and
+/// the property tests can name the concrete container.
+using Fib = FlatFib;
 
 /// Convert a runtime entry to the Fig. 5 packed format. Requires the
 /// channel to be single-source, iif < 32, and all oifs < 32.

@@ -46,6 +46,88 @@ void Network::transmit(NodeId from, LinkId link, Packet packet) {
       });
 }
 
+std::uint32_t Network::acquire_fanout_batch() {
+  if (!fanout_free_.empty()) {
+    const std::uint32_t id = fanout_free_.back();
+    fanout_free_.pop_back();
+    return id;
+  }
+  fanout_pool_.emplace_back();
+  return static_cast<std::uint32_t>(fanout_pool_.size() - 1);
+}
+
+void Network::deliver_fanout_batch(std::uint32_t id) {
+  // One local Packet shared COW-style by every delivery (the payload
+  // refcount is bumped once here, not once per copy). The pool is
+  // re-indexed on every step because a handler may itself replicate
+  // and grow the pool — indices stay valid, references do not.
+  const Packet packet = fanout_pool_[id].packet;
+  for (std::size_t i = 0; i < fanout_pool_[id].targets.size(); ++i) {
+    const DeliveryTarget target = fanout_pool_[id].targets[i];
+    if (Node* n = node(target.to)) n->handle_packet(packet, target.iface);
+  }
+  FanoutBatch& batch = fanout_pool_[id];
+  batch.packet = Packet{};
+  batch.targets.clear();  // keeps capacity for reuse
+  fanout_free_.push_back(id);
+}
+
+bool Network::Fanout::add(std::uint32_t iface) {
+  Network& net = *net_;
+  const LinkId link = net.topology_.node(from_).interfaces.at(iface);
+  const LinkInfo& l = net.topology_.link(link);
+  if (!l.up) {
+    ++net.stats_.packets_dropped_link_down;
+    return false;
+  }
+  const NodeId to = net.topology_.peer(link, from_);
+  const sim::Time arrival =
+      net.reserve_link(from_, link, wire_bytes_, net.scheduler_.now());
+  const DeliveryTarget target{to, *net.topology_.interface_on(to, link)};
+  if (!net.fanout_batching_) {
+    net.scheduler_.schedule_at(arrival, [n = net_, target, p = packet_]() {
+      if (Node* dest = n->node(target.to)) dest->handle_packet(p, target.iface);
+    });
+    return true;
+  }
+  if (queued_ != 0 && arrival == arrival_) {
+    if (batch_ == kNoBatch) {
+      batch_ = net.acquire_fanout_batch();
+      FanoutBatch& b = net.fanout_pool_[batch_];
+      b.packet = packet_;
+      b.targets.push_back(first_);
+    }
+    net.fanout_pool_[batch_].targets.push_back(target);
+    ++queued_;
+    return true;
+  }
+  flush();
+  arrival_ = arrival;
+  first_ = target;
+  queued_ = 1;
+  return true;
+}
+
+void Network::Fanout::flush() {
+  if (queued_ == 0) return;
+  Network& net = *net_;
+  if (batch_ == kNoBatch) {
+    // Single copy at this arrival: same event shape as transmit().
+    net.scheduler_.schedule_at(
+        arrival_, [n = net_, target = first_, p = packet_]() {
+          if (Node* dest = n->node(target.to)) {
+            dest->handle_packet(p, target.iface);
+          }
+        });
+  } else {
+    net.scheduler_.schedule_at(arrival_, [n = net_, id = batch_]() {
+      n->deliver_fanout_batch(id);
+    });
+    batch_ = kNoBatch;
+  }
+  queued_ = 0;
+}
+
 void Network::send_on_interface(NodeId from, std::uint32_t iface, Packet packet) {
   const LinkId link = topology_.node(from).interfaces.at(iface);
   transmit(from, link, std::move(packet));

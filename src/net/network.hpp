@@ -40,6 +40,12 @@ struct NetworkStats {
   std::uint64_t packets_dropped_ttl = 0;
 };
 
+/// One delivery destination of a batched fan-out.
+struct DeliveryTarget {
+  NodeId to = 0;
+  std::uint32_t iface = 0;  ///< arrival interface at `to`
+};
+
 class Network {
  public:
   explicit Network(Topology topology)
@@ -88,6 +94,47 @@ class Network {
   /// (and counted) if the link is down.
   void send_on_interface(NodeId from, std::uint32_t iface, Packet packet);
 
+  /// Batched replication builder used by net::replicate. Each add()
+  /// reserves wire time out one interface exactly as transmit() would;
+  /// consecutive copies arriving at the same instant are coalesced into
+  /// ONE scheduler event that walks the target list, instead of one
+  /// event (and one Packet copy) per copy. Coalescing only adjacent
+  /// equal arrivals keeps the delivery order bit-for-bit identical to
+  /// per-copy scheduling. The destructor flushes the open group.
+  class Fanout {
+   public:
+    Fanout(Network& network, NodeId from, Packet packet)
+        : net_(&network), from_(from), packet_(std::move(packet)),
+          wire_bytes_(packet_.wire_size()) {}
+    Fanout(const Fanout&) = delete;
+    Fanout& operator=(const Fanout&) = delete;
+    ~Fanout() { flush(); }
+
+    /// Queue a copy out `iface`; returns false (and counts the drop)
+    /// when the link is down. TTL policy is the caller's business —
+    /// the packet is sent exactly as constructed.
+    bool add(std::uint32_t iface);
+
+   private:
+    static constexpr std::uint32_t kNoBatch = ~std::uint32_t{0};
+
+    void flush();
+
+    Network* net_;
+    NodeId from_ = 0;
+    Packet packet_;
+    std::uint32_t wire_bytes_ = 0;
+    sim::Time arrival_{};            ///< arrival time of the open group
+    std::uint32_t batch_ = kNoBatch; ///< pooled record once the group is >1
+    DeliveryTarget first_{};         ///< sole target while the group is 1
+    std::uint32_t queued_ = 0;       ///< copies in the open group
+  };
+
+  /// Test/bench knob: disable same-arrival coalescing so every copy
+  /// gets its own delivery event (the pre-batching shape). Delivery
+  /// order is identical either way; only event counts differ.
+  void set_fanout_batching(bool on) { fanout_batching_ = on; }
+
   /// Transmit to a directly attached neighbor (resolves the interface).
   void send_to_neighbor(NodeId from, NodeId neighbor, Packet packet);
 
@@ -120,6 +167,16 @@ class Network {
   sim::Time reserve_link(NodeId from, LinkId link, std::uint32_t bytes,
                          sim::Time earliest);
 
+  /// Pooled storage for multi-target fan-out groups. Records are
+  /// recycled through a free list with their target capacity intact,
+  /// so steady-state batched delivery never touches the allocator.
+  struct FanoutBatch {
+    Packet packet;
+    std::vector<DeliveryTarget> targets;
+  };
+  std::uint32_t acquire_fanout_batch();
+  void deliver_fanout_batch(std::uint32_t id);
+
   Topology topology_;
   UnicastRouting routing_;
   sim::Scheduler scheduler_;
@@ -129,6 +186,9 @@ class Network {
   /// transmitter becomes free (FIFO serialization).
   std::vector<std::array<sim::Time, 2>> link_free_;
   std::unordered_map<ip::Address, NodeId> address_index_;
+  std::vector<FanoutBatch> fanout_pool_;
+  std::vector<std::uint32_t> fanout_free_;  // recycled pool ids
+  bool fanout_batching_ = true;
   NetworkStats stats_;
 };
 

@@ -41,9 +41,20 @@ struct ReplicateOptions {
 /// Copy `packet` from node `node` out every interface in `oifs`
 /// (ascending order), applying `opts`. Returns the number of copies
 /// actually transmitted.
+///
+/// Delivery is batched: TTL is applied once up front (every copy gets
+/// the same decremented value the per-copy loop used to compute), and
+/// copies whose arrival times coincide are delivered by one scheduler
+/// event via Network::Fanout rather than one event per copy.
 inline std::size_t replicate(Network& network, NodeId node,
                              const Packet& packet, const InterfaceSet& oifs,
                              const ReplicateOptions& opts = {}) {
+  Packet master = packet;
+  if (opts.decrement_ttl) {
+    if (master.ttl == 0) return 0;  // expired: zero copies, as before
+    --master.ttl;
+  }
+  Network::Fanout fanout(network, node, std::move(master));
   std::size_t copies = 0;
   oifs.for_each([&](std::uint32_t iface) {
     if (opts.exclude_iface && iface == *opts.exclude_iface) return;
@@ -51,13 +62,7 @@ inline std::size_t replicate(Network& network, NodeId node,
       const LinkId link = network.topology().node(node).interfaces[iface];
       if (!network.topology().link(link).up) return;
     }
-    Packet copy = packet;
-    if (opts.decrement_ttl) {
-      if (copy.ttl == 0) return;
-      --copy.ttl;
-    }
-    network.send_on_interface(node, iface, std::move(copy));
-    ++copies;
+    if (fanout.add(iface)) ++copies;
   });
   return copies;
 }
@@ -67,6 +72,12 @@ inline std::size_t replicate(Network& network, NodeId node,
 inline std::size_t replicate_all(Network& network, NodeId node,
                                  const Packet& packet,
                                  const ReplicateOptions& opts = {}) {
+  Packet master = packet;
+  if (opts.decrement_ttl) {
+    if (master.ttl == 0) return 0;
+    --master.ttl;
+  }
+  Network::Fanout fanout(network, node, std::move(master));
   std::size_t copies = 0;
   const auto ports = network.topology().interface_count(node);
   for (std::uint32_t iface = 0; iface < ports; ++iface) {
@@ -75,13 +86,7 @@ inline std::size_t replicate_all(Network& network, NodeId node,
       const LinkId link = network.topology().node(node).interfaces[iface];
       if (!network.topology().link(link).up) continue;
     }
-    Packet copy = packet;
-    if (opts.decrement_ttl) {
-      if (copy.ttl == 0) continue;
-      --copy.ttl;
-    }
-    network.send_on_interface(node, iface, std::move(copy));
-    ++copies;
+    if (fanout.add(iface)) ++copies;
   }
   return copies;
 }

@@ -77,7 +77,11 @@ TEST(Determinism, SeededChurnCountersArePinned) {
   EXPECT_EQ(out.packets_sent, 1082u);
   EXPECT_EQ(out.bytes_sent, 519864u);
   EXPECT_EQ(out.total_link_bytes, 519864u);
-  EXPECT_EQ(out.executed_events, 1185u);
+  // Event count dropped from 1185 when fan-out batching landed: copies
+  // of one replication that arrive at the same instant now share one
+  // delivery event. Every wire-observable counter above is unchanged —
+  // that equivalence is pinned directly by FanoutBatch tests.
+  EXPECT_EQ(out.executed_events, 867u);
   EXPECT_EQ(out.data_delivered, 365u);
 }
 
@@ -88,7 +92,8 @@ TEST(Determinism, SeededChurnCountersArePinned) {
 // implementation.
 constexpr std::uint64_t kBatchedPacketsSent = 1083;
 constexpr std::uint64_t kBatchedBytesSent = 520948;
-constexpr std::uint64_t kBatchedExecutedEvents = 1281;
+// 1281 before fan-out batching; same-arrival copies now share events.
+constexpr std::uint64_t kBatchedExecutedEvents = 961;
 
 RouterConfig batched_config() {
   RouterConfig config;

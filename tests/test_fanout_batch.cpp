@@ -1,0 +1,199 @@
+// Batched fan-out ≡ per-event fan-out.
+//
+// Network::Fanout coalesces same-arrival replication copies into one
+// delivery event. The contract is strict equivalence with the
+// pre-batching shape (one scheduler event per copy): identical delivery
+// order, identical arrival times, identical wire accounting — only the
+// executed-event count may differ. These tests run the same scenarios
+// with batching on and off and diff the full delivery traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "express/testbed.hpp"
+#include "net/network.hpp"
+#include "net/replicate.hpp"
+#include "sim/random.hpp"
+#include "workload/churn.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace express::net {
+namespace {
+
+/// Records every delivery with node, arrival time, and packet id.
+class Recorder : public Node {
+ public:
+  struct Arrival {
+    NodeId node = 0;
+    std::uint64_t sequence = 0;
+    sim::Time at{};
+    std::uint32_t iface = 0;
+    bool operator==(const Arrival&) const = default;
+  };
+
+  Recorder(Network& network, NodeId id, std::vector<Arrival>& sink)
+      : Node(network, id), sink_(sink) {}
+  void handle_packet(const Packet& packet, std::uint32_t in_iface) override {
+    sink_.push_back({id(), packet.sequence, network().now(), in_iface});
+  }
+
+ private:
+  std::vector<Arrival>& sink_;
+};
+
+Packet data_packet(std::uint32_t bytes, std::uint64_t seq) {
+  Packet p;
+  p.src = ip::Address(1, 1, 1, 1);
+  p.dst = ip::Address(232, 0, 0, 1);
+  p.protocol = ip::Protocol::kUdp;
+  p.data_bytes = bytes;
+  p.sequence = seq;
+  p.ttl = 32;
+  return p;
+}
+
+/// A star with heterogeneous links: some spokes share identical
+/// (delay, bandwidth) so their copies arrive at the same instant and
+/// coalesce; others differ so groups must split. Replicates a stream
+/// of packets from the hub and returns the full delivery trace.
+std::vector<Recorder::Arrival> run_star(bool batching) {
+  Topology topo;
+  const NodeId hub = topo.add_router();
+  InterfaceSet oifs;
+  constexpr std::uint32_t kSpokes = 24;
+  for (std::uint32_t i = 0; i < kSpokes; ++i) {
+    const NodeId spoke = topo.add_router();
+    // Three blocks of identical links -> three coalescible groups per
+    // wave, with splits at the block boundaries.
+    const auto delay = sim::milliseconds(1 + (i / 8));
+    topo.add_link(hub, spoke, delay, 1, 1e9);
+    oifs.set(i);
+  }
+  Network network(std::move(topo));
+  network.set_fanout_batching(batching);
+  std::vector<Recorder::Arrival> trace;
+  for (NodeId n = 1; n <= kSpokes; ++n) {
+    network.attach<Recorder>(n, trace);
+  }
+  sim::Rng rng(5);
+  for (std::uint64_t seq = 0; seq < 40; ++seq) {
+    network.scheduler().schedule_at(
+        sim::milliseconds(rng.below(20)), [&network, hub, &oifs, seq] {
+          replicate(network, hub, data_packet(200, seq), oifs, {});
+        });
+  }
+  network.run();
+  return trace;
+}
+
+TEST(FanoutBatch, StarDeliveryTraceMatchesPerEventMode) {
+  const auto batched = run_star(true);
+  const auto per_event = run_star(false);
+  ASSERT_EQ(batched.size(), per_event.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_TRUE(batched[i] == per_event[i])
+        << "divergence at delivery " << i << ": batched node "
+        << batched[i].node << " seq " << batched[i].sequence
+        << " at " << batched[i].at.count() << " ns vs per-event node "
+        << per_event[i].node << " seq " << per_event[i].sequence << " at "
+        << per_event[i].at.count() << " ns";
+  }
+}
+
+TEST(FanoutBatch, DownLinksAreCountedNotDelivered) {
+  Topology topo;
+  const NodeId hub = topo.add_router();
+  const NodeId a = topo.add_router();
+  const NodeId b = topo.add_router();
+  const NodeId c = topo.add_router();
+  topo.add_link(hub, a, sim::milliseconds(1), 1, 1e9);
+  const LinkId down = topo.add_link(hub, b, sim::milliseconds(1), 1, 1e9);
+  topo.add_link(hub, c, sim::milliseconds(1), 1, 1e9);
+  Network network(std::move(topo));
+  std::vector<Recorder::Arrival> trace;
+  network.attach<Recorder>(a, trace);
+  network.attach<Recorder>(b, trace);
+  network.attach<Recorder>(c, trace);
+  network.set_link_up(down, false);
+  InterfaceSet oifs;
+  oifs.set(0);
+  oifs.set(1);
+  oifs.set(2);
+  const std::size_t copies = replicate(network, hub, data_packet(100, 1), oifs, {});
+  network.run();
+  EXPECT_EQ(copies, 2u);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(network.stats().packets_dropped_link_down, 1u);
+  // The survivors around the dead middle interface still coalesce.
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].node, a);
+  EXPECT_EQ(trace[1].node, c);
+  EXPECT_EQ(trace[0].at, trace[1].at);
+}
+
+/// End-to-end equivalence on the full EXPRESS stack: the seeded-churn
+/// scenario from the determinism pin, batching on vs off. Everything
+/// the wire can observe must match; only the event count shrinks.
+struct ChurnOutcome {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t total_link_bytes = 0;
+  std::uint64_t executed_events = 0;
+  std::uint64_t data_delivered = 0;
+};
+
+ChurnOutcome run_seeded_churn(bool batching) {
+  Testbed bed(workload::make_kary_tree(2, 3, {}, 2), RouterConfig{});
+  bed.net().set_fanout_batching(batching);
+  const ip::ChannelId channel = bed.source().allocate_channel();
+
+  sim::Rng rng(7);
+  const sim::Duration horizon = sim::seconds(10);
+  const auto events = workload::poisson_churn(
+      static_cast<std::uint32_t>(bed.receiver_count()), horizon,
+      sim::seconds(5), sim::seconds(3), rng);
+  auto& sched = bed.net().scheduler();
+  for (const auto& ev : events) {
+    sched.schedule_at(ev.at, [&bed, &channel, ev] {
+      if (ev.join) {
+        bed.receiver(ev.host_index).new_subscription(channel);
+      } else {
+        bed.receiver(ev.host_index).delete_subscription(channel);
+      }
+    });
+  }
+  const std::vector<std::uint8_t> header(32, 0x5A);
+  std::uint64_t seq = 0;
+  for (sim::Time at = sim::milliseconds(200); at < horizon;
+       at += sim::milliseconds(200)) {
+    sched.schedule_at(at, [&bed, &channel, &header, s = seq++] {
+      bed.source().send(channel, 500, s, header);
+    });
+  }
+  bed.net().run();
+
+  ChurnOutcome out;
+  out.packets_sent = bed.net().stats().packets_sent;
+  out.bytes_sent = bed.net().stats().bytes_sent;
+  out.total_link_bytes = bed.net().total_link_bytes();
+  out.executed_events = sched.executed_events();
+  for (std::size_t i = 0; i < bed.receiver_count(); ++i) {
+    out.data_delivered += bed.receiver(i).stats().data_received;
+  }
+  return out;
+}
+
+TEST(FanoutBatch, SeededChurnMatchesPerEventMode) {
+  const ChurnOutcome batched = run_seeded_churn(true);
+  const ChurnOutcome per_event = run_seeded_churn(false);
+  EXPECT_EQ(batched.packets_sent, per_event.packets_sent);
+  EXPECT_EQ(batched.bytes_sent, per_event.bytes_sent);
+  EXPECT_EQ(batched.total_link_bytes, per_event.total_link_bytes);
+  EXPECT_EQ(batched.data_delivered, per_event.data_delivered);
+  // Coalescing is the whole point: strictly fewer events when on.
+  EXPECT_LT(batched.executed_events, per_event.executed_events);
+}
+
+}  // namespace
+}  // namespace express::net

@@ -3,8 +3,12 @@
 // accounting.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <vector>
+
 #include "express/fib.hpp"
 #include "express/interface_set.hpp"
+#include "sim/random.hpp"
 
 namespace express {
 namespace {
@@ -103,6 +107,127 @@ TEST(Fib, PackedBytesMatchesEntryCount) {
   Fib fib;
   for (std::uint32_t i = 0; i < 100; ++i) fib.upsert(channel(1, i));
   EXPECT_EQ(fib.packed_bytes(), 1200u);  // 100 entries * 12 bytes
+}
+
+TEST(Fib, FindDoesNotInflateHitStats) {
+  // Regression: the RPF-check path probes the table with find() (twice,
+  // in the worst case: once for the subcast relay check, once for the
+  // audit) before the forwarding lookup() runs. hits must count once
+  // per lookup(), never per probe.
+  Fib fib;
+  FibEntry& e = fib.upsert(channel(1, 5));
+  e.iif = 2;
+  e.oifs.set(1);
+  ASSERT_NE(fib.find(channel(1, 5)), nullptr);
+  ASSERT_NE(static_cast<const Fib&>(fib).find(channel(1, 5)), nullptr);
+  EXPECT_EQ(fib.stats().hits, 0u);
+  EXPECT_EQ(fib.stats().lookups, 0u);
+  EXPECT_NE(fib.lookup(channel(1, 5), 2), nullptr);
+  EXPECT_EQ(fib.stats().hits, 1u);
+  EXPECT_EQ(fib.stats().lookups, 1u);
+}
+
+TEST(FlatFib, BackwardShiftDeletionKeepsChainsProbeable) {
+  // Dense sequential keys build long probe chains; deleting every other
+  // entry exercises the backward-shift path. Every survivor must stay
+  // findable and every deleted key must miss (a stale shift would
+  // orphan chain members behind the hole).
+  Fib fib;
+  for (std::uint32_t i = 0; i < 500; ++i) fib.upsert(channel(3, i)).iif = i;
+  for (std::uint32_t i = 0; i < 500; i += 2) fib.erase(channel(3, i));
+  EXPECT_EQ(fib.size(), 250u);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const FibEntry* e = fib.find(channel(3, i));
+    if (i % 2 == 0) {
+      EXPECT_EQ(e, nullptr) << "deleted key " << i << " still found";
+    } else {
+      ASSERT_NE(e, nullptr) << "live key " << i << " lost";
+      EXPECT_EQ(e->iif, i);
+    }
+  }
+}
+
+TEST(FlatFib, RandomOpsMatchUnorderedMapReference) {
+  // Property test: a random insert/erase/find workload against a
+  // std::unordered_map reference model, through several growth rounds
+  // and heavy deletion (backward shift + dense swap-remove).
+  Fib fib;
+  std::unordered_map<ip::ChannelId, FibEntry> model;
+  sim::Rng rng(0xF1B);
+  constexpr std::uint32_t kHosts = 4;
+  constexpr std::uint32_t kIndices = 400;
+  for (int op = 0; op < 30000; ++op) {
+    const auto ch = channel(1 + rng.below(kHosts), rng.below(kIndices));
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {  // upsert, biased so the table actually fills
+        const std::uint32_t iif = rng.below(32);
+        const std::uint32_t oif = rng.below(64);
+        FibEntry& e = fib.upsert(ch);
+        e.iif = iif;
+        e.oifs.set(oif);
+        FibEntry& m = model[ch];
+        m.iif = iif;
+        m.oifs.set(oif);
+        break;
+      }
+      case 2: {
+        fib.erase(ch);
+        model.erase(ch);
+        break;
+      }
+      case 3: {
+        const FibEntry* got = fib.find(ch);
+        auto it = model.find(ch);
+        if (it == model.end()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          EXPECT_EQ(got->iif, it->second.iif);
+          EXPECT_TRUE(got->oifs == it->second.oifs);
+        }
+        break;
+      }
+    }
+    if (op % 5000 == 4999) {  // periodic full cross-check
+      ASSERT_EQ(fib.size(), model.size());
+      for (const auto& [mch, mentry] : model) {
+        const FibEntry* got = fib.find(mch);
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(got->iif, mentry.iif);
+        EXPECT_TRUE(got->oifs == mentry.oifs);
+      }
+      for (const auto& [fch, fentry] : fib.entries()) {
+        EXPECT_EQ(model.count(fch), 1u);
+      }
+    }
+  }
+  EXPECT_EQ(fib.size(), model.size());
+}
+
+TEST(FlatFib, IterationOrderIsDeterministic) {
+  // entries() order is a pure function of the op history: two tables
+  // fed the identical sequence must agree element for element.
+  Fib a;
+  Fib b;
+  sim::Rng rng(77);
+  std::vector<std::pair<bool, ip::ChannelId>> ops;
+  for (int i = 0; i < 2000; ++i) {
+    ops.emplace_back(rng.below(3) != 0, channel(1, rng.below(150)));
+  }
+  for (const auto& [insert, ch] : ops) {
+    if (insert) {
+      a.upsert(ch);
+      b.upsert(ch);
+    } else {
+      a.erase(ch);
+      b.erase(ch);
+    }
+  }
+  ASSERT_EQ(a.entries().size(), b.entries().size());
+  for (std::size_t i = 0; i < a.entries().size(); ++i) {
+    EXPECT_EQ(a.entries()[i].first, b.entries()[i].first);
+  }
 }
 
 TEST(InterfaceSet, SetClearTest) {
