@@ -1,0 +1,111 @@
+// obs_capture: record the observability plane for the pinned seeded
+// churn scenario (the same run test_determinism pins counter-by-
+// counter) and export it as artifacts:
+//
+//   --seed N          churn RNG seed (default 7, the pinned scenario)
+//   --trace-out P     event trace as canonical JSONL (default trace.jsonl)
+//   --metrics-out P   metrics registry snapshot JSON (default metrics.json)
+//
+// Two runs with the same seed must produce byte-identical files; diff
+// divergent captures with scripts/tracediff.py to find the first event
+// where the runs disagree (see DESIGN.md §11 / EXPERIMENTS.md).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "express/testbed.hpp"
+#include "obs/obs.hpp"
+#include "workload/churn.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace {
+
+struct Options {
+  std::uint64_t seed = 7;
+  std::string trace_out = "trace.jsonl";
+  std::string metrics_out = "metrics.json";
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      opt.trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      opt.metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_capture [--seed N] [--trace-out P] "
+                   "[--metrics-out P]\n");
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs_capture: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace express;
+  const Options opt = parse(argc, argv);
+
+  // Mirror of test_determinism's run_seeded_churn: 16 receivers over a
+  // binary router tree, Poisson join/leave churn, periodic channel data.
+  Testbed bed(workload::make_kary_tree(2, 3, {}, 2));
+  bed.net().obs().trace.enable(1 << 16);  // retains the whole scenario
+  const ip::ChannelId channel = bed.source().allocate_channel();
+
+  sim::Rng rng(opt.seed);
+  const sim::Duration horizon = sim::seconds(10);
+  const auto events = workload::poisson_churn(
+      static_cast<std::uint32_t>(bed.receiver_count()), horizon,
+      sim::seconds(5), sim::seconds(3), rng);
+
+  auto& sched = bed.net().scheduler();
+  for (const auto& ev : events) {
+    sched.schedule_at(ev.at, [&bed, &channel, ev] {
+      if (ev.join) {
+        bed.receiver(ev.host_index).new_subscription(channel);
+      } else {
+        bed.receiver(ev.host_index).delete_subscription(channel);
+      }
+    });
+  }
+  const std::vector<std::uint8_t> header(32, 0x5A);
+  std::uint64_t seq = 0;
+  for (sim::Time at = sim::milliseconds(200); at < horizon;
+       at += sim::milliseconds(200)) {
+    sched.schedule_at(at, [&bed, &channel, &header, s = seq++] {
+      bed.source().send(channel, 500, s, header);
+    });
+  }
+  bed.net().run();
+
+  const obs::Plane& plane = bed.net().obs();
+  if (!write_file(opt.trace_out, plane.trace.to_jsonl())) return 1;
+  if (!write_file(opt.metrics_out,
+                  plane.registry.snapshot_json(bed.net().now()))) {
+    return 1;
+  }
+  std::printf("obs_capture: seed=%llu events=%llu metrics=%zu -> %s, %s\n",
+              static_cast<unsigned long long>(opt.seed),
+              static_cast<unsigned long long>(plane.trace.next_index()),
+              plane.registry.size(), opt.trace_out.c_str(),
+              opt.metrics_out.c_str());
+  return 0;
+}

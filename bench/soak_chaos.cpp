@@ -18,6 +18,7 @@
 #include <string>
 
 #include "audit/invariants.hpp"
+#include "obs/obs.hpp"
 #include "common.hpp"
 #include "express/testbed.hpp"
 #include "workload/chaos.hpp"
@@ -59,7 +60,7 @@ Options parse(int argc, char** argv) {
 
 void write_json(const std::string& path, const Options& opt,
                 const workload::ChaosReport& report,
-                const net::NetworkStats& net_stats, double wall_s) {
+                const obs::Registry& registry, double wall_s) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "soak_chaos: cannot write %s\n", path.c_str());
@@ -83,15 +84,17 @@ void write_json(const std::string& path, const Options& opt,
                sim::to_seconds(report.max_convergence()));
   std::fprintf(f, "  \"mean_convergence_s\": %.6f,\n",
                report.mean_convergence_seconds());
+  // Drop block straight from the metrics registry (same slots the
+  // NetworkStats view reads; keys unchanged).
   std::fprintf(f, "  \"drops\": {\n");
   std::fprintf(f, "    \"link_down\": %llu,\n",
                static_cast<unsigned long long>(
-                   net_stats.packets_dropped_link_down));
+                   registry.sum("net.drop.link_down")));
   std::fprintf(f, "    \"no_route\": %llu,\n",
                static_cast<unsigned long long>(
-                   net_stats.packets_dropped_no_route));
+                   registry.sum("net.drop.no_route")));
   std::fprintf(f, "    \"ttl\": %llu\n",
-               static_cast<unsigned long long>(net_stats.packets_dropped_ttl));
+               static_cast<unsigned long long>(registry.sum("net.drop.ttl")));
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"wall_s\": %.3f,\n", wall_s);
   std::fprintf(f, "  \"per_fault\": [\n");
@@ -191,7 +194,7 @@ int main(int argc, char** argv) {
                 final_report.to_string().c_str());
   }
 
-  write_json(opt.out, opt, report, bed.net().stats(), wall_s);
+  write_json(opt.out, opt, report, bed.net().obs().registry, wall_s);
 
   // Non-zero exit on any violation or unconverged fault makes the
   // binary its own gate even without scripts/soak.sh.

@@ -17,6 +17,10 @@ on_fail() {
   echo "check.sh: FAILED. If the failure is a -Werror=unused-result or" >&2
   echo "ordering issue, run the static gate for a faster diagnosis:" >&2
   echo "    scripts/lint.sh        (also the CI 'lint' job)" >&2
+  echo "If an Obs* determinism test or obs_golden failed, pinpoint the" >&2
+  echo "first divergent event with the trace differ:" >&2
+  echo "    scripts/obs_golden.sh  (also the CI 'obs' job)" >&2
+  echo "    scripts/tracediff.py a.jsonl b.jsonl" >&2
 }
 trap 'on_fail' ERR
 build_dir="${1:-$repo_root/build-asan}"

@@ -89,6 +89,7 @@ EFFECT_RE = re.compile(
     | \.(?:push_back|emplace_back|append)\s*\(
     | \bstats_\.\w+\s*(?:\+\+|--|\+=|-=|=)
     | \+\+\s*stats_\.
+    | \bstats_\.\w+\.\w*\s*\(     # registry-backed: stats_.x.inc()/.add()
     """,
     re.VERBOSE,
 )
@@ -428,6 +429,7 @@ SELF_TESTS = {
     "uninitialized_message_pod.cpp": {"uninitialized-message-pod"},
     "discarded_effects.cpp": {"discarded-effect"},
     "bare_suppression.cpp": {"bare-suppression"},
+    "wall_clock_in_obs.cpp": {"banned-construct"},
     "clean.cpp": set(),
 }
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Golden determinism gate for the observability plane (DESIGN.md §11).
+#
+# Captures the pinned seeded-churn scenario twice with the same seed
+# and asserts both artifacts are byte-identical:
+#   - the event trace JSONL, compared with scripts/tracediff.py
+#   - the metrics registry snapshot, compared with cmp
+# then captures a different seed and asserts tracediff reports the
+# first divergent record (non-zero exit). Run by ctest as `obs_golden`
+# and by the CI `obs` step.
+#
+# Usage: scripts/obs_golden.sh [path/to/obs_capture]
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+capture="${1:-$repo_root/build/bench/obs_capture}"
+
+if [[ ! -x "$capture" ]]; then
+  echo "obs_golden: capture binary not found: $capture" >&2
+  echo "  build it first: cmake --build build --target obs_capture" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+run() {
+  local seed="$1" tag="$2"
+  "$capture" --seed "$seed" \
+    --trace-out "$workdir/$tag.jsonl" \
+    --metrics-out "$workdir/$tag.json" >/dev/null || {
+    echo "obs_golden: capture (seed $seed) failed" >&2
+    exit 1
+  }
+}
+
+run 7 a
+run 7 b
+run 8 c
+
+fail=0
+
+if python3 "$repo_root/scripts/tracediff.py" \
+    "$workdir/a.jsonl" "$workdir/b.jsonl"; then
+  echo "obs_golden: same-seed traces identical"
+else
+  echo "obs_golden: FAIL — same-seed traces diverge (see above)" >&2
+  fail=1
+fi
+
+if cmp -s "$workdir/a.json" "$workdir/b.json"; then
+  echo "obs_golden: same-seed metrics snapshots identical"
+else
+  echo "obs_golden: FAIL — same-seed metrics snapshots differ" >&2
+  fail=1
+fi
+
+if python3 "$repo_root/scripts/tracediff.py" \
+    "$workdir/a.jsonl" "$workdir/c.jsonl"; then
+  echo "obs_golden: FAIL — different-seed traces compare identical" >&2
+  fail=1
+else
+  echo "obs_golden: different-seed divergence detected and located"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "obs_golden: FAILED" >&2
+  exit 1
+fi
+echo "obs_golden: all green"

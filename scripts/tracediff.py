@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Diff two deterministic trace captures (DESIGN.md §11).
+
+The simulator promises byte-identical observability artifacts for
+identically-seeded runs: the event trace JSONL written by
+``obs_capture`` (or any ``obs::Trace::to_jsonl()`` export) replays the
+run event by event. When two captures disagree, the *first* divergent
+record is the event where the runs' histories split — everything after
+it is fallout. This tool finds that record, turning "determinism
+broke" from a pinned-counter mismatch into a pinpointed event:
+
+    $ ./build/bench/obs_capture --seed 7 --trace-out a.jsonl
+    $ ./build/bench/obs_capture --seed 7 --trace-out b.jsonl
+    $ scripts/tracediff.py a.jsonl b.jsonl
+    tracediff: identical (N records)
+
+Exit codes: 0 = identical, 1 = divergent (first divergence printed),
+2 = usage/IO error. Zero third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+
+def load_lines(path: str) -> list[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return [line.rstrip("\n") for line in f if line.strip()]
+    except OSError as exc:
+        print(f"tracediff: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def describe(line: str) -> str:
+    """Render one JSONL record for the report (tolerates non-JSON)."""
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError:
+        return line
+    fields = ", ".join(f"{k}={rec[k]}" for k in sorted(rec))
+    return f"{{{fields}}}"
+
+
+def field_diff(a: str, b: str) -> str:
+    """Name the fields that differ between two JSON records."""
+    try:
+        ra, rb = json.loads(a), json.loads(b)
+    except json.JSONDecodeError:
+        return ""
+    keys = sorted(set(ra) | set(rb))
+    diffs = [k for k in keys if ra.get(k) != rb.get(k)]
+    return ", ".join(diffs)
+
+
+def diff(path_a: str, path_b: str) -> int:
+    lines_a = load_lines(path_a)
+    lines_b = load_lines(path_b)
+    for i, (la, lb) in enumerate(zip(lines_a, lines_b)):
+        if la == lb:
+            continue
+        print(f"tracediff: first divergence at record {i}")
+        fields = field_diff(la, lb)
+        if fields:
+            print(f"  differing fields: {fields}")
+        print(f"  {path_a}: {describe(la)}")
+        print(f"  {path_b}: {describe(lb)}")
+        return 1
+    if len(lines_a) != len(lines_b):
+        short, long_, extra = (
+            (path_a, path_b, lines_b)
+            if len(lines_a) < len(lines_b)
+            else (path_b, path_a, lines_a)
+        )
+        i = min(len(lines_a), len(lines_b))
+        print(f"tracediff: first divergence at record {i}")
+        print(f"  {short}: <end of capture ({i} records)>")
+        print(f"  {long_}: {describe(extra[i])}")
+        return 1
+    print(f"tracediff: identical ({len(lines_a)} records)")
+    return 0
+
+
+def self_test() -> int:
+    """Fixture-driven check that the diff logic reports correctly."""
+    rec = (
+        '{"a":0,"b":0,"c":0,"entity":"router:1","index":%d,'
+        '"time_ns":%d,"type":"timer_fire"}'
+    )
+    base = [rec % (i, i * 100) for i in range(4)]
+    changed = list(base)
+    changed[2] = changed[2].replace('"time_ns":200', '"time_ns":250')
+    truncated = base[:3]
+
+    failures = []
+
+    def run_case(name: str, a: list[str], b: list[str], want: int):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".jsonl", delete=False
+        ) as fa, tempfile.NamedTemporaryFile(
+            "w", suffix=".jsonl", delete=False
+        ) as fb:
+            fa.write("\n".join(a) + "\n")
+            fb.write("\n".join(b) + "\n")
+            fa.flush()
+            fb.flush()
+            got = diff(fa.name, fb.name)
+            if got != want:
+                failures.append(f"{name}: exit {got}, expected {want}")
+
+    run_case("identical", base, base, 0)
+    run_case("divergent-record", base, changed, 1)
+    run_case("truncated", base, truncated, 1)
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL {f}", file=sys.stderr)
+        return 1
+    print("tracediff self-test: 3 cases OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Report the first divergent record between two "
+        "trace captures."
+    )
+    parser.add_argument("captures", nargs="*", help="two trace JSONL files")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in fixtures and exit",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if len(args.captures) != 2:
+        parser.print_usage(sys.stderr)
+        return 2
+    return diff(args.captures[0], args.captures[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

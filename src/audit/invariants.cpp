@@ -27,8 +27,9 @@ struct Walk {
 
   void flag(Check check, net::NodeId router, const ip::ChannelId& channel,
             std::string detail) {
-    report.violations.push_back(
-        Violation{check, router, channel, std::move(detail)});
+    report.violations.push_back(Violation{check, router, channel,
+                                          std::move(detail),
+                                          network->obs().trace.next_index()});
   }
 };
 

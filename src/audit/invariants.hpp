@@ -58,6 +58,10 @@ struct Violation {
   net::NodeId router = net::kInvalidNode;
   ip::ChannelId channel;
   std::string detail;  ///< human-readable diagnosis
+  /// Trace position at audit time: when tracing is enabled, every event
+  /// with obs::TraceRecord::index < trace_index preceded this violation
+  /// (the anchor for replay-based diagnosis, DESIGN.md §11).
+  std::uint64_t trace_index = 0;
 };
 
 struct AuditReport {

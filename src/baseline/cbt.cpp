@@ -6,7 +6,17 @@
 namespace express::baseline {
 
 CbtRouter::CbtRouter(net::Network& network, net::NodeId id, CbtConfig config)
-    : net::Node(network, id), config_(config), plane_(network, id) {}
+    : net::Node(network, id), config_(config),
+      scope_(network.node_scope(id)), plane_(network, id) {
+  stats_.joins_sent = scope_.counter("baseline.cbt.joins_sent");
+  stats_.prunes_sent = scope_.counter("baseline.cbt.prunes_sent");
+  stats_.data_copies_sent = scope_.counter("baseline.cbt.data_copies_sent");
+  stats_.encapsulated_to_core =
+      scope_.counter("baseline.cbt.encapsulated_to_core");
+  stats_.decapsulated_at_core =
+      scope_.counter("baseline.cbt.decapsulated_at_core");
+  stats_.drops = scope_.counter("baseline.cbt.drops");
+}
 
 void CbtRouter::handle_packet(const net::Packet& packet,
                               std::uint32_t in_iface) {
@@ -20,7 +30,7 @@ void CbtRouter::handle_packet(const net::Packet& packet,
   if (packet.protocol == ip::Protocol::kIpInIp && packet.dst == address()) {
     // Off-tree sender's encapsulated packet reaching the core.
     if (!is_core() || !packet.inner) return;
-    ++stats_.decapsulated_at_core;
+    stats_.decapsulated_at_core.inc();
     inject(*packet.inner, std::numeric_limits<std::uint32_t>::max());
     return;
   }
@@ -47,7 +57,7 @@ void CbtRouter::join_toward_core(ip::Address group) {
   join.type = MsgType::kJoinStarG;
   join.group = group;
   send_control(*up, join);
-  ++stats_.joins_sent;
+  stats_.joins_sent.inc();
 }
 
 void CbtRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
@@ -86,7 +96,7 @@ void CbtRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
           prune.type = MsgType::kPruneStarG;
           prune.group = msg.group;
           send_control(up, prune);
-          ++stats_.prunes_sent;
+          stats_.prunes_sent.inc();
         }
         trees_.erase(it);
       }
@@ -100,7 +110,7 @@ void CbtRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
 void CbtRouter::inject(const net::Packet& packet, std::uint32_t except_iface) {
   auto it = trees_.find(packet.dst);
   if (it == trees_.end()) {
-    ++stats_.drops;
+    stats_.drops.inc();
     return;
   }
   net::InterfaceSet set;
@@ -109,7 +119,7 @@ void CbtRouter::inject(const net::Packet& packet, std::uint32_t except_iface) {
   net::ReplicateOptions opts;
   opts.exclude_iface = except_iface;
   opts.skip_down_links = true;
-  stats_.data_copies_sent += plane_.replicate(packet, set, opts);
+  stats_.data_copies_sent.add(plane_.replicate(packet, set, opts));
 }
 
 void CbtRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {
@@ -127,7 +137,7 @@ void CbtRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {
   const bool from_attached_host =
       network().topology().node(peer).kind == net::NodeKind::kHost;
   if (!from_attached_host) {
-    ++stats_.drops;
+    stats_.drops.inc();
     return;
   }
   if (is_core()) {
@@ -139,7 +149,7 @@ void CbtRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {
   outer.dst = config_.core;
   outer.protocol = ip::Protocol::kIpInIp;
   outer.inner = std::make_shared<net::Packet>(packet);
-  ++stats_.encapsulated_to_core;
+  stats_.encapsulated_to_core.inc();
   network().send_unicast(id(), std::move(outer));
 }
 

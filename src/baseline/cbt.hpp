@@ -18,6 +18,7 @@
 #include "express/forwarding.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "obs/obs.hpp"
 
 namespace express::baseline {
 
@@ -40,7 +41,17 @@ class CbtRouter : public net::Node {
 
   void handle_packet(const net::Packet& packet, std::uint32_t in_iface) override;
 
-  [[nodiscard]] const CbtStats& stats() const { return stats_; }
+  /// Thin view over the registry slots (see DESIGN.md §11).
+  [[nodiscard]] CbtStats stats() const {
+    CbtStats s;
+    s.joins_sent = stats_.joins_sent.value();
+    s.prunes_sent = stats_.prunes_sent.value();
+    s.data_copies_sent = stats_.data_copies_sent.value();
+    s.encapsulated_to_core = stats_.encapsulated_to_core.value();
+    s.decapsulated_at_core = stats_.decapsulated_at_core.value();
+    s.drops = stats_.drops.value();
+    return s;
+  }
   [[nodiscard]] bool is_core() const { return address() == config_.core; }
   [[nodiscard]] bool on_tree(ip::Address group) const {
     return trees_.contains(group);
@@ -64,8 +75,20 @@ class CbtRouter : public net::Node {
   void join_toward_core(ip::Address group);
   void send_control(net::NodeId neighbor, const Msg& msg);
 
+  /// Registry-backed counter handles (CbtStats is assembled on demand
+  /// by stats()).
+  struct CbtCounters {
+    obs::Counter joins_sent;
+    obs::Counter prunes_sent;
+    obs::Counter data_copies_sent;
+    obs::Counter encapsulated_to_core;
+    obs::Counter decapsulated_at_core;
+    obs::Counter drops;
+  };
+
   CbtConfig config_;
-  CbtStats stats_;
+  obs::Scope scope_;
+  CbtCounters stats_;
   /// Shared data plane: CBT's bidirectional tree interfaces feed the
   /// protocol-agnostic replication primitive.
   express::ForwardingPlane plane_;

@@ -6,7 +6,18 @@ namespace express::baseline {
 
 DvmrpRouter::DvmrpRouter(net::Network& network, net::NodeId id,
                          DvmrpConfig config)
-    : net::Node(network, id), config_(config), plane_(network, id) {}
+    : net::Node(network, id), config_(config),
+      scope_(network.node_scope(id)), plane_(network, id) {
+  stats_.data_packets_forwarded =
+      scope_.counter("baseline.dvmrp.data_packets_forwarded");
+  stats_.data_copies_sent = scope_.counter("baseline.dvmrp.data_copies_sent");
+  stats_.flood_copies = scope_.counter("baseline.dvmrp.flood_copies");
+  stats_.rpf_drops = scope_.counter("baseline.dvmrp.rpf_drops");
+  stats_.prunes_sent = scope_.counter("baseline.dvmrp.prunes_sent");
+  stats_.prunes_received = scope_.counter("baseline.dvmrp.prunes_received");
+  stats_.grafts_sent = scope_.counter("baseline.dvmrp.grafts_sent");
+  stats_.grafts_received = scope_.counter("baseline.dvmrp.grafts_received");
+}
 
 bool DvmrpRouter::iface_is_host(std::uint32_t iface) const {
   const net::NodeId peer = network().topology().neighbor_via(id(), iface);
@@ -43,7 +54,7 @@ void DvmrpRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
             graft.group = msg.group;
             graft.source = channel.source;
             send_control(*up, graft);
-            ++stats_.grafts_sent;
+            stats_.grafts_sent.inc();
           }
         }
       }
@@ -58,14 +69,14 @@ void DvmrpRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
       return;
     }
     case MsgType::kPruneSG: {
-      ++stats_.prunes_received;
+      stats_.prunes_received.inc();
       const ip::ChannelId key{msg.source, msg.group};
       sg_[key].pruned_until[in_iface] =
           network().now() + sim::milliseconds(msg.holdtime_ms);
       return;
     }
     case MsgType::kGraft: {
-      ++stats_.grafts_received;
+      stats_.grafts_received.inc();
       const ip::ChannelId key{msg.source, msg.group};
       auto it = sg_.find(key);
       if (it == sg_.end()) return;
@@ -76,7 +87,7 @@ void DvmrpRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
           if (auto up = network().routing().rpf_neighbor(id(), *src)) {
             Msg graft = msg;
             send_control(*up, graft);
-            ++stats_.grafts_sent;
+            stats_.grafts_sent.inc();
           }
         }
       }
@@ -93,7 +104,7 @@ void DvmrpRouter::forward_data(const net::Packet& packet,
   if (!src_node) return;
   auto rpf = network().routing().rpf_interface(id(), *src_node);
   if (!rpf || *rpf != in_iface) {
-    ++stats_.rpf_drops;
+    stats_.rpf_drops.inc();
     return;
   }
 
@@ -120,7 +131,7 @@ void DvmrpRouter::forward_data(const net::Packet& packet,
     }
     if (state.pruned_until.contains(iface)) continue;
     oifs.push_back(iface);
-    ++stats_.flood_copies;
+    stats_.flood_copies.inc();
   }
 
   if (oifs.empty()) {
@@ -137,7 +148,7 @@ void DvmrpRouter::forward_data(const net::Packet& packet,
                 config_.prune_lifetime)
                 .count());
         send_control(*up, prune);
-        ++stats_.prunes_sent;
+        stats_.prunes_sent.inc();
         state.prune_sent_upstream = true;
         state.prune_expiry = now + config_.prune_lifetime;
       }
@@ -145,12 +156,12 @@ void DvmrpRouter::forward_data(const net::Packet& packet,
     return;
   }
 
-  ++stats_.data_packets_forwarded;
+  stats_.data_packets_forwarded.inc();
   net::InterfaceSet set;
   for (std::uint32_t iface : oifs) set.set(iface);
   // Link state was already checked while building `oifs`.
   net::ReplicateOptions opts;
-  stats_.data_copies_sent += plane_.replicate(packet, set, opts);
+  stats_.data_copies_sent.add(plane_.replicate(packet, set, opts));
 }
 
 void DvmrpRouter::send_control(net::NodeId neighbor, const Msg& msg) {

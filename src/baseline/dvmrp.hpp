@@ -19,6 +19,7 @@
 #include "ip/channel.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "obs/obs.hpp"
 
 namespace express::baseline {
 
@@ -45,7 +46,19 @@ class DvmrpRouter : public net::Node {
 
   void handle_packet(const net::Packet& packet, std::uint32_t in_iface) override;
 
-  [[nodiscard]] const DvmrpStats& stats() const { return stats_; }
+  /// Thin view over the registry slots (see DESIGN.md §11).
+  [[nodiscard]] DvmrpStats stats() const {
+    DvmrpStats s;
+    s.data_packets_forwarded = stats_.data_packets_forwarded.value();
+    s.data_copies_sent = stats_.data_copies_sent.value();
+    s.flood_copies = stats_.flood_copies.value();
+    s.rpf_drops = stats_.rpf_drops.value();
+    s.prunes_sent = stats_.prunes_sent.value();
+    s.prunes_received = stats_.prunes_received.value();
+    s.grafts_sent = stats_.grafts_sent.value();
+    s.grafts_received = stats_.grafts_received.value();
+    return s;
+  }
   /// (S,G) forwarding-cache entries — present at every router the flood
   /// reached, the group model's state-scaling problem.
   [[nodiscard]] std::size_t state_entries() const { return sg_.size(); }
@@ -66,8 +79,22 @@ class DvmrpRouter : public net::Node {
   void send_control(net::NodeId neighbor, const Msg& msg);
   [[nodiscard]] bool iface_is_host(std::uint32_t iface) const;
 
+  /// Registry-backed counter handles (DvmrpStats is assembled on
+  /// demand by stats()).
+  struct DvmrpCounters {
+    obs::Counter data_packets_forwarded;
+    obs::Counter data_copies_sent;
+    obs::Counter flood_copies;
+    obs::Counter rpf_drops;
+    obs::Counter prunes_sent;
+    obs::Counter prunes_received;
+    obs::Counter grafts_sent;
+    obs::Counter grafts_received;
+  };
+
   DvmrpConfig config_;
-  DvmrpStats stats_;
+  obs::Scope scope_;
+  DvmrpCounters stats_;
   /// Shared data plane: DVMRP resolves flood-minus-prunes into an
   /// outgoing set, then replicates through the protocol-agnostic plane.
   express::ForwardingPlane plane_;

@@ -9,10 +9,19 @@ GroupHost::GroupHost(net::Network& network, net::NodeId id)
   if (network.topology().node(id).interfaces.size() != 1) {
     throw std::logic_error("group hosts are single-homed in this simulator");
   }
+  scope_ = network.node_scope(id);
+  stats_.data_received = scope_.counter("baseline.group_host.data_received");
+  stats_.data_filtered = scope_.counter("baseline.group_host.data_filtered");
+  stats_.unwanted_data = scope_.counter("baseline.group_host.unwanted_data");
+  stats_.bytes_on_last_hop =
+      scope_.counter("baseline.group_host.bytes_on_last_hop");
+  stats_.data_sent = scope_.counter("baseline.group_host.data_sent");
 }
 
 void GroupHost::join_group(ip::Address group, ip::Protocol control) {
   groups_.insert(group);
+  scope_.emit(network().now(), obs::TraceType::kSubscriptionChange,
+              std::uint64_t{group.value()}, 1);
   Msg msg;
   msg.type = MsgType::kMembershipReport;
   msg.group = group;
@@ -26,6 +35,8 @@ void GroupHost::join_group(ip::Address group, ip::Protocol control) {
 
 void GroupHost::leave_group(ip::Address group, ip::Protocol control) {
   groups_.erase(group);
+  scope_.emit(network().now(), obs::TraceType::kSubscriptionChange,
+              std::uint64_t{group.value()}, 0);
   filters_.erase(group);
   Msg msg;
   msg.type = MsgType::kLeaveGroup;
@@ -55,7 +66,7 @@ void GroupHost::send_to_group(ip::Address group, std::uint32_t bytes,
   packet.protocol = ip::Protocol::kUdp;
   packet.data_bytes = bytes;
   packet.sequence = sequence;
-  ++stats_.data_sent;
+  stats_.data_sent.inc();
   network().send_on_interface(id(), 0, std::move(packet));
 }
 
@@ -64,17 +75,17 @@ void GroupHost::handle_packet(const net::Packet& packet,
   (void)in_iface;
   if (!packet.dst.is_multicast()) return;
   if (packet.protocol != ip::Protocol::kUdp) return;  // control is not ours
-  stats_.bytes_on_last_hop += packet.wire_size();
+  stats_.bytes_on_last_hop.add(packet.wire_size());
   if (!groups_.contains(packet.dst)) {
-    ++stats_.unwanted_data;
+    stats_.unwanted_data.inc();
     return;
   }
   if (auto it = filters_.find(packet.dst);
       it != filters_.end() && !it->second.contains(packet.src)) {
-    ++stats_.data_filtered;  // IGMPv3 include-filter drop, at the host
+    stats_.data_filtered.inc();  // IGMPv3 include-filter drop, at the host
     return;
   }
-  ++stats_.data_received;
+  stats_.data_received.inc();
   deliveries_.push_back(Delivery{packet.dst, packet.src, packet.sequence,
                                  packet.data_bytes, network().now()});
 }

@@ -19,6 +19,7 @@
 #include "baseline/wire.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "obs/obs.hpp"
 
 namespace express::baseline {
 
@@ -62,7 +63,16 @@ class GroupHost : public net::Node {
   [[nodiscard]] const std::vector<Delivery>& deliveries() const {
     return deliveries_;
   }
-  [[nodiscard]] const GroupHostStats& stats() const { return stats_; }
+  /// Thin view over the registry slots (see DESIGN.md §11).
+  [[nodiscard]] GroupHostStats stats() const {
+    GroupHostStats s;
+    s.data_received = stats_.data_received.value();
+    s.data_filtered = stats_.data_filtered.value();
+    s.unwanted_data = stats_.unwanted_data.value();
+    s.bytes_on_last_hop = stats_.bytes_on_last_hop.value();
+    s.data_sent = stats_.data_sent.value();
+    return s;
+  }
   [[nodiscard]] bool member_of(ip::Address group) const {
     return groups_.contains(group);
   }
@@ -70,8 +80,19 @@ class GroupHost : public net::Node {
  private:
   std::unordered_set<ip::Address> groups_;
   std::unordered_map<ip::Address, std::unordered_set<ip::Address>> filters_;
+  /// Registry-backed counter handles (GroupHostStats is assembled on
+  /// demand by stats()).
+  struct GroupHostCounters {
+    obs::Counter data_received;
+    obs::Counter data_filtered;
+    obs::Counter unwanted_data;
+    obs::Counter bytes_on_last_hop;
+    obs::Counter data_sent;
+  };
+
   std::vector<Delivery> deliveries_;
-  GroupHostStats stats_;
+  obs::Scope scope_;
+  GroupHostCounters stats_;
 };
 
 }  // namespace express::baseline

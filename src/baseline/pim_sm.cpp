@@ -7,7 +7,18 @@ namespace express::baseline {
 
 PimSmRouter::PimSmRouter(net::Network& network, net::NodeId id,
                          PimConfig config)
-    : net::Node(network, id), config_(config), plane_(network, id) {}
+    : net::Node(network, id), config_(config),
+      scope_(network.node_scope(id)), plane_(network, id) {
+  stats_.joins_star_g = scope_.counter("baseline.pim.joins_star_g");
+  stats_.joins_sg = scope_.counter("baseline.pim.joins_sg");
+  stats_.prunes = scope_.counter("baseline.pim.prunes");
+  stats_.registers_sent = scope_.counter("baseline.pim.registers_sent");
+  stats_.registers_decapsulated =
+      scope_.counter("baseline.pim.registers_decapsulated");
+  stats_.register_stops = scope_.counter("baseline.pim.register_stops");
+  stats_.data_copies_sent = scope_.counter("baseline.pim.data_copies_sent");
+  stats_.drops = scope_.counter("baseline.pim.drops");
+}
 
 std::optional<net::NodeId> PimSmRouter::toward(ip::Address addr) const {
   auto node = network().node_of(addr);
@@ -56,7 +67,7 @@ void PimSmRouter::join_shared_tree(ip::Address group) {
   join.type = MsgType::kJoinStarG;
   join.group = group;
   send_control(*up, join);
-  ++stats_.joins_star_g;
+  stats_.joins_star_g.inc();
   state.joined_upstream = true;
 }
 
@@ -75,7 +86,7 @@ void PimSmRouter::join_source_tree(const ip::ChannelId& sg) {
   join.group = sg.dest;
   join.source = sg.source;
   send_control(*up, join);
-  ++stats_.joins_sg;
+  stats_.joins_sg.inc();
   state.joined_upstream = true;
 }
 
@@ -102,7 +113,7 @@ void PimSmRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
             prune.type = MsgType::kPruneStarG;
             prune.group = msg.group;
             send_control(*up, prune);
-            ++stats_.prunes;
+            stats_.prunes.inc();
           }
         }
         star_g_.erase(it);
@@ -124,7 +135,7 @@ void PimSmRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
             prune.type = MsgType::kPruneStarG;
             prune.group = msg.group;
             send_control(*up, prune);
-            ++stats_.prunes;
+            stats_.prunes.inc();
           }
         }
         star_g_.erase(it);
@@ -142,7 +153,7 @@ void PimSmRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
       return;
     case MsgType::kRegisterStop:
       register_stopped_.insert(ip::ChannelId{msg.source, msg.group});
-      ++stats_.register_stops;
+      stats_.register_stops.inc();
       return;
     default:
       return;
@@ -158,7 +169,7 @@ void PimSmRouter::deliver(const net::Packet& packet,
   net::ReplicateOptions opts;
   opts.exclude_iface = in_iface;
   opts.skip_down_links = true;
-  stats_.data_copies_sent += plane_.replicate(packet, set, opts);
+  stats_.data_copies_sent.add(plane_.replicate(packet, set, opts));
 }
 
 void PimSmRouter::maybe_spt_switchover(const net::Packet& packet) {
@@ -181,7 +192,7 @@ void PimSmRouter::maybe_spt_switchover(const net::Packet& packet) {
       prune.group = packet.dst;
       prune.source = packet.src;
       send_control(*up, prune);
-      ++stats_.prunes;
+      stats_.prunes.inc();
     }
   }
 }
@@ -229,7 +240,7 @@ void PimSmRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {
       outer.dst = config_.rp;
       outer.protocol = ip::Protocol::kIpInIp;
       outer.inner = std::make_shared<net::Packet>(packet);
-      ++stats_.registers_sent;
+      stats_.registers_sent.inc();
       network().send_unicast(id(), std::move(outer));
     }
     return;
@@ -240,7 +251,7 @@ void PimSmRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {
   if (auto it = sg_.find(sg); it != sg_.end()) {
     auto rpf = rpf_iface_toward(packet.src);
     if (!rpf || *rpf != in_iface) {
-      ++stats_.drops;
+      stats_.drops.inc();
       return;
     }
     deliver(packet, inherited_oifs(sg), in_iface);
@@ -277,12 +288,12 @@ void PimSmRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {
       return;
     }
   }
-  ++stats_.drops;
+  stats_.drops.inc();
 }
 
 void PimSmRouter::on_register(const net::Packet& packet) {
   if (!is_rp() || !packet.inner) return;
-  ++stats_.registers_decapsulated;
+  stats_.registers_decapsulated.inc();
   const net::Packet& inner = *packet.inner;
   const ip::ChannelId sg{inner.src, inner.dst};
 

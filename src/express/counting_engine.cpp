@@ -49,10 +49,13 @@ bool CountingEngine::start_round(const ip::ChannelId& channel,
   round.requester = requester;
   round.sum = local;
   round.outstanding = children;
+  round.started = scheduler_->now();
   round.local_done = std::move(local_done);
   round.timer = scheduler_->schedule_after(
       timeout, [this, key]() { finish_round(key, true); });
-  ++stats_.rounds_started;
+  stats_.rounds_started.inc();
+  scope_.emit(round.started, obs::TraceType::kCountRoundStart, channel.packed(),
+              query_seq, children);
   return true;
 }
 
@@ -74,10 +77,14 @@ void CountingEngine::finish_round(std::uint64_t key, bool timed_out) {
   pending_.erase(it);
   round.timer.cancel();
   if (timed_out) {
-    ++stats_.rounds_timed_out;
+    stats_.rounds_timed_out.inc();
   } else {
-    ++stats_.rounds_completed;
+    stats_.rounds_completed.inc();
   }
+  const sim::Time now = scheduler_->now();
+  round_ns_.observe(static_cast<std::uint64_t>((now - round.started).count()));
+  scope_.emit(now, obs::TraceType::kCountRoundEnd, round.channel.packed(),
+              round.query_seq, timed_out ? 1 : 0);
 
   if (round.requester) {
     // Partial or complete, the sum goes upstream (§3.1: a router that
@@ -131,7 +138,7 @@ void CountingEngine::proactive_update_sent(const ip::ChannelId& channel,
                                            std::int64_t total) {
   auto it = proactive_.find(channel);
   if (it == proactive_.end()) return;
-  ++stats_.proactive_updates_sent;
+  stats_.proactive_updates_sent.inc();
   it->second.state.mark_sent(total, scheduler_->now());
   it->second.check.cancel();
 }

@@ -56,10 +56,24 @@ class CountingEngine {
   using RecheckFn = std::function<void(const ip::ChannelId& channel)>;
   using LocalDone = std::function<void(CountResult)>;
 
-  CountingEngine(sim::Scheduler& scheduler, ReplyFn reply, RecheckFn recheck)
+  /// `scope` binds the engine's counters (express.counting.*) and
+  /// count-round trace records to an observability plane; the default
+  /// resolves to the global plane under a fresh anonymous entity.
+  CountingEngine(sim::Scheduler& scheduler, ReplyFn reply, RecheckFn recheck,
+                 obs::Scope scope = {})
       : scheduler_(&scheduler),
         reply_(std::move(reply)),
-        recheck_(std::move(recheck)) {}
+        recheck_(std::move(recheck)),
+        scope_(scope.resolved()) {
+    stats_.rounds_started = scope_.counter("express.counting.rounds_started");
+    stats_.rounds_completed =
+        scope_.counter("express.counting.rounds_completed");
+    stats_.rounds_timed_out =
+        scope_.counter("express.counting.rounds_timed_out");
+    stats_.proactive_updates_sent =
+        scope_.counter("express.counting.proactive_updates_sent");
+    round_ns_ = scope_.histogram("express.counting.round_ns");
+  }
   ~CountingEngine();
 
   CountingEngine(const CountingEngine&) = delete;
@@ -110,7 +124,16 @@ class CountingEngine {
   [[nodiscard]] std::size_t pending_rounds() const {
     return pending_.size();
   }
-  [[nodiscard]] const CountingStats& stats() const { return stats_; }
+
+  /// Thin view over the registry slots (see DESIGN.md §11).
+  [[nodiscard]] CountingStats stats() const {
+    CountingStats s;
+    s.rounds_started = stats_.rounds_started.value();
+    s.rounds_completed = stats_.rounds_completed.value();
+    s.rounds_timed_out = stats_.rounds_timed_out.value();
+    s.proactive_updates_sent = stats_.proactive_updates_sent.value();
+    return s;
+  }
 
  private:
   struct PendingRound {
@@ -120,6 +143,7 @@ class CountingEngine {
     std::optional<net::NodeId> requester;  ///< upstream; nullopt = local origin
     std::int64_t sum = 0;
     std::uint32_t outstanding = 0;
+    sim::Time started{0};  ///< round-latency histogram anchor
     sim::EventHandle timer;
     LocalDone local_done;
   };
@@ -138,12 +162,23 @@ class CountingEngine {
                                                ecmp::CountId count_id,
                                                std::uint32_t query_seq);
 
+  /// Registry-backed counter handles (CountingStats is assembled on
+  /// demand by stats()).
+  struct CountingCounters {
+    obs::Counter rounds_started;
+    obs::Counter rounds_completed;
+    obs::Counter rounds_timed_out;
+    obs::Counter proactive_updates_sent;
+  };
+
   sim::Scheduler* scheduler_;
   ReplyFn reply_;
   RecheckFn recheck_;
   std::unordered_map<std::uint64_t, PendingRound> pending_;
   std::unordered_map<ip::ChannelId, ProactiveChannel> proactive_;
-  CountingStats stats_;
+  obs::Scope scope_;
+  CountingCounters stats_;
+  obs::Histogram round_ns_;
 };
 
 }  // namespace express

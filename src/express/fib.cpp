@@ -21,6 +21,7 @@ FibEntry& FlatFib::upsert(const ip::ChannelId& channel) {
   keys_[slot] = key;
   pos_[slot] = static_cast<std::uint32_t>(dense_.size());
   dense_.emplace_back(channel, FibEntry{});
+  entries_gauge_.set(dense_.size());
   return dense_.back().second;
 }
 
@@ -54,6 +55,7 @@ void FlatFib::erase(const ip::ChannelId& channel) {
     cur = (cur + 1) & mask_;
   }
   keys_[hole] = kEmptySlot;
+  entries_gauge_.set(dense_.size());
 }
 
 void FlatFib::grow_index() {
@@ -69,20 +71,20 @@ void FlatFib::grow_index() {
   }
 }
 
-const InterfaceSet* FlatFib::lookup(const ip::ChannelId& channel,
-                                    std::uint32_t in_iface) {
-  ++stats_.lookups;
+const net::InterfaceSet* FlatFib::lookup(const ip::ChannelId& channel,
+                                         std::uint32_t in_iface) {
+  stats_.lookups.inc();
   const std::uint32_t slot = find_slot(key_of(channel));
   if (slot == kNotFound) {
-    ++stats_.no_entry_drops;
+    stats_.no_entry_drops.inc();
     return nullptr;
   }
   const FibEntry& entry = dense_[pos_[slot]].second;
   if (entry.iif != in_iface) {
-    ++stats_.rpf_drops;
+    stats_.rpf_drops.inc();
     return nullptr;
   }
-  ++stats_.hits;
+  stats_.hits.inc();
   return &entry.oifs;
 }
 

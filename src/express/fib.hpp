@@ -34,8 +34,9 @@
 #include <utility>
 #include <vector>
 
-#include "express/interface_set.hpp"
 #include "ip/channel.hpp"
+#include "net/interface_set.hpp"
+#include "obs/obs.hpp"
 
 namespace express {
 
@@ -49,8 +50,8 @@ struct PackedFibEntry {
 static_assert(sizeof(PackedFibEntry) == 12, "Fig. 5 fixes the entry at 12 bytes");
 
 struct FibEntry {
-  std::uint32_t iif = 0;   ///< only packets arriving here are forwarded
-  InterfaceSet oifs;       ///< replication set
+  std::uint32_t iif = 0;    ///< only packets arriving here are forwarded
+  net::InterfaceSet oifs;   ///< replication set
 };
 
 struct FibStats {
@@ -62,6 +63,17 @@ struct FibStats {
 
 class FlatFib {
  public:
+  /// `scope` binds the FIB's counters (express.fib.*) to an
+  /// observability plane; the default resolves to the global plane
+  /// under a fresh anonymous entity.
+  explicit FlatFib(obs::Scope scope = {}) : scope_(scope.resolved()) {
+    stats_.lookups = scope_.counter("express.fib.lookups");
+    stats_.hits = scope_.counter("express.fib.hits");
+    stats_.no_entry_drops = scope_.counter("express.fib.no_entry_drops");
+    stats_.rpf_drops = scope_.counter("express.fib.rpf_drops");
+    entries_gauge_ = scope_.gauge("express.fib.entries");
+  }
+
   /// Insert or return the entry for `channel`. The reference (like any
   /// find() result) is invalidated by the next upsert or erase.
   FibEntry& upsert(const ip::ChannelId& channel);
@@ -85,11 +97,20 @@ class FlatFib {
   /// should be forwarded, nullptr when it must be dropped (either no
   /// entry or RPF failure). Exactly one probe and one stats update per
   /// call, regardless of how often find() ran on the same packet.
-  [[nodiscard]] const InterfaceSet* lookup(const ip::ChannelId& channel,
-                                           std::uint32_t in_iface);
+  [[nodiscard]] const net::InterfaceSet* lookup(const ip::ChannelId& channel,
+                                                std::uint32_t in_iface);
 
   [[nodiscard]] std::size_t size() const { return dense_.size(); }
-  [[nodiscard]] const FibStats& stats() const { return stats_; }
+
+  /// Thin view over the registry slots (see DESIGN.md §11).
+  [[nodiscard]] FibStats stats() const {
+    FibStats s;
+    s.lookups = stats_.lookups.value();
+    s.hits = stats_.hits.value();
+    s.no_entry_drops = stats_.no_entry_drops.value();
+    s.rpf_drops = stats_.rpf_drops.value();
+    return s;
+  }
 
   /// Bytes this FIB would occupy in the Fig. 5 packed format.
   [[nodiscard]] std::size_t packed_bytes() const {
@@ -138,12 +159,22 @@ class FlatFib {
 
   void grow_index();
 
+  /// Registry-backed counter handles (FibStats is assembled on demand).
+  struct FibCounters {
+    obs::Counter lookups;
+    obs::Counter hits;
+    obs::Counter no_entry_drops;
+    obs::Counter rpf_drops;
+  };
+
   /// Dense entry store; index slots point into it by position.
   std::vector<std::pair<ip::ChannelId, FibEntry>> dense_;
   std::vector<std::uint64_t> keys_;  ///< packed key per slot, kEmptySlot if free
   std::vector<std::uint32_t> pos_;   ///< dense_ position per occupied slot
   std::uint64_t mask_ = 0;           ///< keys_.size() - 1 (power of two)
-  FibStats stats_;
+  obs::Scope scope_;
+  FibCounters stats_;
+  obs::Counter entries_gauge_;
 };
 
 /// The FIB used throughout the stack (forwarding plane, baselines,

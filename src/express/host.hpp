@@ -125,7 +125,18 @@ class ExpressHost : public net::Node {
   [[nodiscard]] const std::vector<Delivery>& deliveries() const {
     return deliveries_;
   }
-  [[nodiscard]] const HostStats& stats() const { return stats_; }
+
+  /// Thin view over the registry slots (see DESIGN.md §11).
+  [[nodiscard]] HostStats stats() const {
+    HostStats s;
+    s.data_received = stats_.data_received.value();
+    s.data_sent = stats_.data_sent.value();
+    s.unwanted_data = stats_.unwanted_data.value();
+    s.counts_sent = stats_.counts_sent.value();
+    s.queries_answered = stats_.queries_answered.value();
+    s.control_bytes_sent = stats_.control_bytes_sent.value();
+    return s;
+  }
 
   /// Failure injection: a silent host ignores all incoming packets (a
   /// crashed subscriber that never answers refresh queries — the case
@@ -137,6 +148,17 @@ class ExpressHost : public net::Node {
     std::int64_t local_count = 0;  ///< subscribing apps on this host
     std::optional<ip::ChannelKey> key;
     SubscribeCallback pending_result;
+  };
+
+  /// Registry-backed counter handles (HostStats is assembled on demand
+  /// by stats()).
+  struct HostCounters {
+    obs::Counter data_received;
+    obs::Counter data_sent;
+    obs::Counter unwanted_data;
+    obs::Counter counts_sent;
+    obs::Counter queries_answered;
+    obs::Counter control_bytes_sent;
   };
 
   void send_ecmp(const ecmp::Message& msg);
@@ -158,7 +180,8 @@ class ExpressHost : public net::Node {
   DataHandler data_handler_;
   DataHandler unicast_handler_;
   std::vector<Delivery> deliveries_;
-  HostStats stats_;
+  obs::Scope scope_;
+  HostCounters stats_;
   bool silent_ = false;
   bool on_lan_ = false;  ///< first hop is a shared-media segment
 };

@@ -29,7 +29,9 @@ ExpressRouter::ExpressRouter(net::Network& network, net::NodeId id,
                              RouterConfig config)
     : net::Node(network, id),
       config_(config),
+      scope_(network.node_scope(id)),
       forwarding_(network, id),
+      table_(scope_),
       counting_(
           network.scheduler(),
           [this](net::NodeId requester, const ip::ChannelId& channel,
@@ -40,12 +42,16 @@ ExpressRouter::ExpressRouter(net::Network& network, net::NodeId id,
           },
           [this](const ip::ChannelId& channel) {
             maybe_send_proactive(channel);
-          }),
+          },
+          scope_),
       transport_(network, id, make_policy(config),
                  ecmp::TransportHooks{
                      [this]() { udp_refresh_round(); },
                      [this](net::NodeId neighbor) { neighbor_died(neighbor); },
-                 }) {}
+                 }) {
+  unresolved_neighbor_updates_ =
+      scope_.counter("express.router.unresolved_neighbor_updates");
+}
 
 // ---------------------------------------------------------------------
 // Packet dispatch
@@ -270,7 +276,7 @@ void ExpressRouter::refresh_fib(const ip::ChannelId& channel,
                                 const Channel& state) {
   FibEntry& entry = forwarding_.fib().upsert(channel);
   entry.iif = state.rpf_iface;
-  entry.oifs = InterfaceSet{};
+  entry.oifs = net::InterfaceSet{};
   for (const auto& [neighbor, down] : state.downstream) {
     if (down.count <= 0) continue;
     if (auto iface = net::iface_toward(network(), id(), neighbor)) {

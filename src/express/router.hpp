@@ -123,9 +123,9 @@ class ExpressRouter : public net::Node {
   /// Unified view across the modules; see the per-module accessors for
   /// layer-local counters.
   [[nodiscard]] RouterStats stats() const {
-    const SubscriptionStats& sub = table_.stats();
-    const ecmp::TransportStats& wire = transport_.stats();
-    const ForwardingStats& fwd = forwarding_.stats();
+    const SubscriptionStats sub = table_.stats();
+    const ecmp::TransportStats wire = transport_.stats();
+    const ForwardingStats fwd = forwarding_.stats();
     RouterStats s;
     s.subscribe_events = sub.subscribe_events;
     s.unsubscribe_events = sub.unsubscribe_events;
@@ -145,19 +145,21 @@ class ExpressRouter : public net::Node {
     s.data_packets_forwarded = fwd.data_packets_forwarded;
     s.data_copies_sent = fwd.data_copies_sent;
     s.subcasts_relayed = fwd.subcasts_relayed;
-    s.unresolved_neighbor_updates = unresolved_neighbor_updates_;
+    s.unresolved_neighbor_updates = unresolved_neighbor_updates_.value();
     return s;
   }
-  [[nodiscard]] const ForwardingStats& forwarding_stats() const {
+  // Per-module views are returned by value: each module assembles its
+  // POD from registry slots on demand.
+  [[nodiscard]] ForwardingStats forwarding_stats() const {
     return forwarding_.stats();
   }
-  [[nodiscard]] const SubscriptionStats& subscription_stats() const {
+  [[nodiscard]] SubscriptionStats subscription_stats() const {
     return table_.stats();
   }
-  [[nodiscard]] const CountingStats& counting_stats() const {
+  [[nodiscard]] CountingStats counting_stats() const {
     return counting_.stats();
   }
-  [[nodiscard]] const ecmp::TransportStats& transport_stats() const {
+  [[nodiscard]] ecmp::TransportStats transport_stats() const {
     return transport_.stats();
   }
   [[nodiscard]] bool on_tree(const ip::ChannelId& channel) const {
@@ -232,8 +234,11 @@ class ExpressRouter : public net::Node {
   void remove_channel(const ip::ChannelId& channel);
   void refresh_fib(const ip::ChannelId& channel, const Channel& state);
   void notify_total(const ip::ChannelId& channel) {
+    const std::int64_t total = table_.subtree_count(channel);
+    scope_.emit(network().now(), obs::TraceType::kSubscriptionChange,
+                channel.packed(), static_cast<std::uint64_t>(total));
     if (total_observer_) {
-      total_observer_(channel, table_.subtree_count(channel), network().now());
+      total_observer_(channel, total, network().now());
     }
   }
   /// Validation outcome flowing back down (CountResponse from upstream).
@@ -280,13 +285,16 @@ class ExpressRouter : public net::Node {
   }
 
   RouterConfig config_;
+  /// Bound before the modules so their constructors can register
+  /// against this router's entity.
+  obs::Scope scope_;
   ForwardingPlane forwarding_;
   SubscriptionTable table_;
   CountingEngine counting_;
   ecmp::Transport transport_;
   /// Hysteresis timers for pending upstream switches (§3.2).
   std::unordered_map<ip::ChannelId, sim::EventHandle> pending_switches_;
-  std::uint64_t unresolved_neighbor_updates_ = 0;
+  obs::Counter unresolved_neighbor_updates_;
   TotalObserver total_observer_;
 };
 

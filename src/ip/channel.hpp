@@ -29,6 +29,12 @@ struct ChannelId {
     return "(" + source.to_string() + ", " + dest.to_string() + ")";
   }
 
+  /// Bijective 64-bit packing | source 32b | dest 32b | — the FIB probe
+  /// key, also used as a trace-record operand to identify the channel.
+  [[nodiscard]] constexpr std::uint64_t packed() const {
+    return (std::uint64_t{source.value()} << 32) | std::uint64_t{dest.value()};
+  }
+
   friend constexpr auto operator<=>(const ChannelId&, const ChannelId&) = default;
 };
 

@@ -23,17 +23,32 @@ sim::Time Network::reserve_link(NodeId from, LinkId link, std::uint32_t bytes,
   const sim::Time done = start + serialization_delay(bytes, l.bandwidth_bps);
   free_at = done;
   auto& ls = link_stats_.at(link);
-  ++ls.packets;
-  ls.bytes += bytes;
-  ++stats_.packets_sent;
-  stats_.bytes_sent += bytes;
+  ls.packets.inc();
+  ls.bytes.add(bytes);
+  stats_.packets_sent.inc();
+  stats_.bytes_sent.add(bytes);
+  plane_.trace.emit(start, obs::Entity::link(link), obs::TraceType::kPacketSent,
+                    from, bytes);
   return done + l.delay;  // arrival at the peer
+}
+
+void Network::deliver_packet(NodeId to, const Packet& packet,
+                             std::uint32_t iface) {
+  // enabled() gate first: the entity lookup and wire_size() walk stay
+  // off the per-delivery fast path while tracing is disarmed.
+  if (plane_.trace.enabled()) {
+    plane_.trace.emit(scheduler_.now(), node_entity(to),
+                      obs::TraceType::kPacketDelivered, iface,
+                      packet.wire_size());
+  }
+  if (Node* n = node(to)) n->handle_packet(packet, iface);
 }
 
 void Network::transmit(NodeId from, LinkId link, Packet packet) {
   const LinkInfo& l = topology_.link(link);
   if (!l.up) {
-    ++stats_.packets_dropped_link_down;
+    stats_.dropped_link_down.inc();
+    trace_drop(obs::DropReason::kLinkDown, link);
     return;
   }
   const NodeId to = topology_.peer(link, from);
@@ -42,7 +57,7 @@ void Network::transmit(NodeId from, LinkId link, Packet packet) {
   auto iface_at_peer = topology_.interface_on(to, link);
   scheduler_.schedule_at(
       arrival, [this, to, iface = *iface_at_peer, p = std::move(packet)]() {
-        if (Node* n = node(to)) n->handle_packet(p, iface);
+        deliver_packet(to, p, iface);
       });
 }
 
@@ -64,7 +79,7 @@ void Network::deliver_fanout_batch(std::uint32_t id) {
   const Packet packet = fanout_pool_[id].packet;
   for (std::size_t i = 0; i < fanout_pool_[id].targets.size(); ++i) {
     const DeliveryTarget target = fanout_pool_[id].targets[i];
-    if (Node* n = node(target.to)) n->handle_packet(packet, target.iface);
+    deliver_packet(target.to, packet, target.iface);
   }
   FanoutBatch& batch = fanout_pool_[id];
   batch.packet = Packet{};
@@ -77,7 +92,8 @@ bool Network::Fanout::add(std::uint32_t iface) {
   const LinkId link = net.topology_.node(from_).interfaces.at(iface);
   const LinkInfo& l = net.topology_.link(link);
   if (!l.up) {
-    ++net.stats_.packets_dropped_link_down;
+    net.stats_.dropped_link_down.inc();
+    net.trace_drop(obs::DropReason::kLinkDown, link);
     return false;
   }
   const NodeId to = net.topology_.peer(link, from_);
@@ -86,7 +102,7 @@ bool Network::Fanout::add(std::uint32_t iface) {
   const DeliveryTarget target{to, *net.topology_.interface_on(to, link)};
   if (!net.fanout_batching_) {
     net.scheduler_.schedule_at(arrival, [n = net_, target, p = packet_]() {
-      if (Node* dest = n->node(target.to)) dest->handle_packet(p, target.iface);
+      n->deliver_packet(target.to, p, target.iface);
     });
     return true;
   }
@@ -115,9 +131,7 @@ void Network::Fanout::flush() {
     // Single copy at this arrival: same event shape as transmit().
     net.scheduler_.schedule_at(
         arrival_, [n = net_, target = first_, p = packet_]() {
-          if (Node* dest = n->node(target.to)) {
-            dest->handle_packet(p, target.iface);
-          }
+          n->deliver_packet(target.to, p, target.iface);
         });
   } else {
     net.scheduler_.schedule_at(arrival_, [n = net_, id = batch_]() {
@@ -142,19 +156,21 @@ void Network::send_to_neighbor(NodeId from, NodeId neighbor, Packet packet) {
 void Network::send_unicast(NodeId from, Packet packet) {
   auto dest = node_of(packet.dst);
   if (!dest) {
-    ++stats_.packets_dropped_no_route;
+    stats_.dropped_no_route.inc();
+    trace_drop(obs::DropReason::kNoRoute, kInvalidLink);
     return;
   }
   const auto hops = routing_.path(from, *dest);
   if (hops.empty() && from != *dest) {
-    ++stats_.packets_dropped_no_route;
+    stats_.dropped_no_route.inc();
+    trace_drop(obs::DropReason::kNoRoute, kInvalidLink);
     return;
   }
   if (from == *dest) {
     // Loopback delivery: interface index is irrelevant; use 0.
     scheduler_.schedule_after(sim::Duration{0},
                               [this, to = from, p = std::move(packet)]() {
-                                if (Node* n = node(to)) n->handle_packet(p, 0);
+                                deliver_packet(to, p, 0);
                               });
     return;
   }
@@ -165,14 +181,16 @@ void Network::send_unicast(NodeId from, Packet packet) {
   std::uint8_t ttl = packet.ttl;
   for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
     if (ttl == 0) {
-      ++stats_.packets_dropped_ttl;
+      stats_.dropped_ttl.inc();
+      trace_drop(obs::DropReason::kTtlExpired, kInvalidLink);
       return;
     }
     --ttl;
     auto iface = topology_.interface_to(hops[i], hops[i + 1]);
     const LinkId link = topology_.node(hops[i]).interfaces.at(*iface);
     if (!topology_.link(link).up) {
-      ++stats_.packets_dropped_link_down;
+      stats_.dropped_link_down.inc();
+      trace_drop(obs::DropReason::kLinkDown, link);
       return;
     }
     at = reserve_link(hops[i], link, size, at);
@@ -183,7 +201,7 @@ void Network::send_unicast(NodeId from, Packet packet) {
   auto iface_at_dest = topology_.interface_to(to, prev);
   scheduler_.schedule_at(at, [this, to, iface = iface_at_dest.value_or(0),
                               p = std::move(packet)]() {
-    if (Node* n = node(to)) n->handle_packet(p, iface);
+    deliver_packet(to, p, iface);
   });
 }
 
@@ -196,9 +214,7 @@ void Network::set_link_up(LinkId link, bool up) {
 }
 
 std::uint64_t Network::total_link_bytes() const {
-  std::uint64_t sum = 0;
-  for (const auto& ls : link_stats_) sum += ls.bytes;
-  return sum;
+  return plane_.registry.sum("net.link.bytes");
 }
 
 }  // namespace express::net

@@ -23,6 +23,7 @@
 #include "net/packet.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 #include "sim/scheduler.hpp"
 
 namespace express::net {
@@ -51,10 +52,21 @@ class Network {
   explicit Network(Topology topology)
       : topology_(std::move(topology)),
         routing_(topology_),
-        link_stats_(topology_.link_count()),
         link_free_(topology_.link_count()) {
     for (NodeId i = 0; i < topology_.node_count(); ++i) {
       address_index_.emplace(topology_.node(i).address, i);
+    }
+    const obs::Scope scope{&plane_, obs::Entity::network()};
+    stats_.packets_sent = scope.counter("net.packets_sent");
+    stats_.bytes_sent = scope.counter("net.bytes_sent");
+    stats_.dropped_link_down = scope.counter("net.drop.link_down");
+    stats_.dropped_no_route = scope.counter("net.drop.no_route");
+    stats_.dropped_ttl = scope.counter("net.drop.ttl");
+    link_stats_.resize(topology_.link_count());
+    for (LinkId l = 0; l < topology_.link_count(); ++l) {
+      const obs::Entity e = obs::Entity::link(l);
+      link_stats_[l].packets = plane_.registry.counter("net.link.packets", e);
+      link_stats_[l].bytes = plane_.registry.counter("net.link.bytes", e);
     }
   }
 
@@ -62,6 +74,29 @@ class Network {
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] const UnicastRouting& routing() const { return routing_; }
   [[nodiscard]] sim::Time now() const { return scheduler_.now(); }
+
+  /// This network's observability plane: every module attached to the
+  /// network registers its metrics (and emits trace records) here, so
+  /// concurrently-live networks never share counters.
+  [[nodiscard]] obs::Plane& obs() { return plane_; }
+  [[nodiscard]] const obs::Plane& obs() const { return plane_; }
+
+  /// The obs entity a topology node observes as (router/host/lan by
+  /// node kind), and the bound scope modules should register through.
+  [[nodiscard]] obs::Entity node_entity(NodeId id) const {
+    switch (topology_.node(id).kind) {
+      case NodeKind::kHost:
+        return obs::Entity::host(id);
+      case NodeKind::kLanHub:
+        return obs::Entity::lan(id);
+      case NodeKind::kRouter:
+        break;
+    }
+    return obs::Entity::router(id);
+  }
+  [[nodiscard]] obs::Scope node_scope(NodeId id) {
+    return obs::Scope{&plane_, node_entity(id)};
+  }
 
   /// Construct and register a node of type T at topology node `id`.
   /// T's constructor must take (Network&, NodeId, extra args...).
@@ -147,9 +182,19 @@ class Network {
   /// Fail or restore a link; recomputes routing and notifies all nodes.
   void set_link_up(LinkId link, bool up);
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
-  [[nodiscard]] const LinkStats& link_stats(LinkId link) const {
-    return link_stats_.at(link);
+  /// Thin views over the registry slots (see DESIGN.md §11).
+  [[nodiscard]] NetworkStats stats() const {
+    NetworkStats s;
+    s.packets_sent = stats_.packets_sent.value();
+    s.bytes_sent = stats_.bytes_sent.value();
+    s.packets_dropped_link_down = stats_.dropped_link_down.value();
+    s.packets_dropped_no_route = stats_.dropped_no_route.value();
+    s.packets_dropped_ttl = stats_.dropped_ttl.value();
+    return s;
+  }
+  [[nodiscard]] LinkStats link_stats(LinkId link) const {
+    const LinkCounters& lc = link_stats_.at(link);
+    return LinkStats{lc.packets.value(), lc.bytes.value()};
   }
 
   /// Sum of bytes over all links (total delivered bandwidth-volume).
@@ -161,6 +206,16 @@ class Network {
 
  private:
   void transmit(NodeId from, LinkId link, Packet packet);
+
+  /// Single funnel for handing a packet to its destination node: emits
+  /// the kPacketDelivered trace record, then dispatches.
+  void deliver_packet(NodeId to, const Packet& packet, std::uint32_t iface);
+
+  void trace_drop(obs::DropReason reason, LinkId link) {
+    plane_.trace.emit(scheduler_.now(), obs::Entity::network(),
+                      obs::TraceType::kPacketDropped,
+                      static_cast<std::uint64_t>(reason), link);
+  }
 
   /// Reserve FIFO transmission time on one link direction starting no
   /// earlier than `earliest`; returns the arrival time at the peer.
@@ -177,11 +232,27 @@ class Network {
   std::uint32_t acquire_fanout_batch();
   void deliver_fanout_batch(std::uint32_t id);
 
+  /// Registry-backed counter handles (the NetworkStats/LinkStats PODs
+  /// are assembled on demand by stats()/link_stats()).
+  struct NetworkCounters {
+    obs::Counter packets_sent;
+    obs::Counter bytes_sent;
+    obs::Counter dropped_link_down;
+    obs::Counter dropped_no_route;
+    obs::Counter dropped_ttl;
+  };
+  struct LinkCounters {
+    obs::Counter packets;
+    obs::Counter bytes;
+  };
+
   Topology topology_;
   UnicastRouting routing_;
-  sim::Scheduler scheduler_;
+  /// Declared before scheduler_ so the scheduler can bind to it.
+  obs::Plane plane_;
+  sim::Scheduler scheduler_{true, obs::Scope{&plane_, obs::Entity::network()}};
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<LinkStats> link_stats_;
+  std::vector<LinkCounters> link_stats_;
   /// Per link, per direction ([0]: a->b, [1]: b->a): when the
   /// transmitter becomes free (FIFO serialization).
   std::vector<std::array<sim::Time, 2>> link_free_;
@@ -189,7 +260,7 @@ class Network {
   std::vector<FanoutBatch> fanout_pool_;
   std::vector<std::uint32_t> fanout_free_;  // recycled pool ids
   bool fanout_batching_ = true;
-  NetworkStats stats_;
+  NetworkCounters stats_;
 };
 
 }  // namespace express::net

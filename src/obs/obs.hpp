@@ -1,0 +1,342 @@
+// Unified observability plane: metrics registry + deterministic event
+// trace.
+//
+// Every layer of the stack used to carry its own ad-hoc `*Stats` POD
+// and hand-plumb fields into benches one at a time. This module gives
+// the counters one home:
+//
+//   * Registry — named counters/gauges/histograms, each owned by an
+//     Entity (router/host/link/...). Modules register their slots once
+//     at construction and hold Counter/Histogram *handles* (pointers
+//     into registry-owned storage), so a fast-path increment is one
+//     indirect add. The legacy `XStats stats()` accessors survive as
+//     thin views assembled from the slots — call sites compile
+//     unchanged. snapshot_json() serializes the whole registry in a
+//     canonical form (entries sorted by (name, entity), integers only,
+//     sim-time stamped) that is byte-identical across identically
+//     seeded runs.
+//   * Trace — a fixed-capacity ring of POD records (packet
+//     sent/delivered/dropped, subscription change, count-round
+//     start/end, timer fire, fault inject/heal) stamped with *sim*
+//     time only (wall clocks are banned in src/ — detlint enforces
+//     this here too). Disabled by default: emit() is a two-load branch
+//     until enable() arms it. Export to JSONL, filter by entity/type;
+//     scripts/tracediff.py pinpoints the first divergent record
+//     between two captures.
+//   * Plane / Scope — a Plane is one Registry + one Trace. Each
+//     net::Network owns a private Plane so concurrently-live networks
+//     (A/B benches, multi-testbed tests) never share counters; modules
+//     constructed outside a Network resolve to a process-global Plane
+//     under a fresh anonymous entity. A Scope is the (plane, entity)
+//     pair a module binds once via resolved() and registers through.
+//
+// Determinism contract: nothing in this module reads wall clocks,
+// addresses, or iteration order of unordered containers. The registry
+// index is a std::map ordered by (name, entity); anonymous entity ids
+// come from a process-global monotonic counter, so in-process replays
+// of the same construction sequence serialize identically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace express::obs {
+
+// ---------------------------------------------------------------------------
+// Entities
+// ---------------------------------------------------------------------------
+
+enum class EntityKind : std::uint8_t {
+  kNone = 0,  ///< unresolved scope (binds to kAnon on resolve())
+  kNet,       ///< the network fabric itself
+  kRouter,
+  kHost,
+  kLan,    ///< layer-2 hub nodes
+  kLink,   ///< one (bidirectional) topology link
+  kRelay,  ///< session-relay middleware on a host
+  kAnon,   ///< standalone module outside any Network (unit tests, benches)
+};
+
+[[nodiscard]] const char* entity_kind_name(EntityKind kind);
+
+/// Who a metric or trace record belongs to. Ordered (kind, id) so the
+/// registry index — and with it every snapshot — has one canonical order.
+struct Entity {
+  EntityKind kind = EntityKind::kNone;
+  std::uint32_t id = 0;
+
+  static Entity network() { return {EntityKind::kNet, 0}; }
+  static Entity router(std::uint32_t id) { return {EntityKind::kRouter, id}; }
+  static Entity host(std::uint32_t id) { return {EntityKind::kHost, id}; }
+  static Entity lan(std::uint32_t id) { return {EntityKind::kLan, id}; }
+  static Entity link(std::uint32_t id) { return {EntityKind::kLink, id}; }
+  static Entity relay(std::uint32_t id) { return {EntityKind::kRelay, id}; }
+  /// A fresh process-unique anonymous entity (monotonic id).
+  static Entity anon();
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Entity&, const Entity&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Metric handles
+// ---------------------------------------------------------------------------
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Handle to one uint64 registry slot. Values, not references: copying
+/// a Counter copies the slot pointer. A default-constructed handle
+/// targets a shared sink slot so unregistered modules stay safe (writes
+/// vanish); registered handles point into Registry-owned storage, which
+/// is address-stable for the registry's lifetime (deque-backed).
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc() const { ++*slot_; }
+  void add(std::uint64_t n) const { *slot_ += n; }
+  /// Gauge-style write (last value wins).
+  void set(std::uint64_t v) const { *slot_ = v; }
+  /// High-water-mark write.
+  void set_max(std::uint64_t v) const {
+    if (v > *slot_) *slot_ = v;
+  }
+  [[nodiscard]] std::uint64_t value() const { return *slot_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+
+  static std::uint64_t sink_;
+  std::uint64_t* slot_ = &sink_;
+};
+
+inline constexpr std::size_t kHistogramBuckets = 32;
+
+/// Power-of-two histogram payload: bucket i counts observed values v
+/// with bit_width(v) == i, i.e. [2^(i-1), 2^i) for i >= 1 and {0} for
+/// i == 0 (values wider than 31 bits land in the last bucket).
+struct HistogramData {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(std::uint64_t v) const;
+  [[nodiscard]] const HistogramData& data() const { return *data_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(HistogramData* data) : data_(data) {}
+
+  static HistogramData sink_;
+  HistogramData* data_ = &sink_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Register (or re-register, which zeroes the slot — a fresh module
+  /// instance starts from zero) a metric and return its handle.
+  Counter counter(std::string_view name, Entity entity);
+  Counter gauge(std::string_view name, Entity entity);
+  Histogram histogram(std::string_view name, Entity entity);
+
+  /// Scalar value of (name, entity), or 0 when absent.
+  [[nodiscard]] std::uint64_t value(std::string_view name,
+                                    Entity entity) const;
+  /// Sum of a scalar metric over every entity carrying it.
+  [[nodiscard]] std::uint64_t sum(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Canonical JSON snapshot: one object per metric, entries sorted by
+  /// (name, entity), object keys sorted alphabetically, integers only,
+  /// stamped with the simulated time. Byte-identical across identically
+  /// seeded runs.
+  [[nodiscard]] std::string snapshot_json(sim::Time at) const;
+
+ private:
+  struct Key {
+    std::string name;
+    Entity entity;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::uint32_t index = 0;  ///< into slots_ or hists_ per kind
+  };
+
+  std::uint64_t* scalar_slot(std::string_view name, Entity entity,
+                             MetricKind kind);
+
+  std::map<Key, Entry> entries_;
+  /// Slot storage. Deques: growth never moves existing slots, so the
+  /// raw pointers inside handed-out Counter/Histogram handles stay
+  /// valid for the registry's lifetime.
+  std::deque<std::uint64_t> slots_;
+  std::deque<HistogramData> hists_;
+};
+
+// ---------------------------------------------------------------------------
+// Event trace
+// ---------------------------------------------------------------------------
+
+enum class TraceType : std::uint8_t {
+  kPacketSent = 0,
+  kPacketDelivered,
+  kPacketDropped,
+  kSubscriptionChange,
+  kCountRoundStart,
+  kCountRoundEnd,
+  kTimerFire,
+  kFaultInject,
+  kFaultHeal,
+};
+
+[[nodiscard]] const char* trace_type_name(TraceType type);
+
+/// Packet-drop reason codes carried in TraceRecord::a for
+/// kPacketDropped records.
+enum class DropReason : std::uint8_t {
+  kLinkDown = 1,
+  kNoRoute = 2,
+  kTtlExpired = 3,
+  kNoFibEntry = 4,
+  kRpfFail = 5,
+};
+
+/// One POD trace record. a/b/c are type-specific operands (packet
+/// bytes, channel words, sequence numbers, ...) — all derived from
+/// simulation state, never from the environment.
+struct TraceRecord {
+  std::int64_t time_ns = 0;  ///< sim::Time, nanoseconds since start
+  std::uint64_t index = 0;   ///< global emission index (never resets)
+  Entity entity{};
+  TraceType type = TraceType::kPacketSent;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+struct TraceFilter {
+  std::optional<Entity> entity;
+  std::optional<TraceType> type;
+
+  [[nodiscard]] bool matches(const TraceRecord& rec) const {
+    return (!entity || rec.entity == *entity) && (!type || rec.type == *type);
+  }
+};
+
+/// Fixed-capacity ring of TraceRecords. Disabled (zero-capacity) by
+/// default: emit() costs one load and one branch until enable() arms
+/// it. When the ring is full the oldest records are overwritten; the
+/// global `index` keeps growing, so exports reveal truncation.
+class Trace {
+ public:
+  void enable(std::size_t capacity);
+  void disable();
+  [[nodiscard]] bool enabled() const { return capacity_ != 0; }
+
+  void emit(sim::Time t, Entity entity, TraceType type, std::uint64_t a = 0,
+            std::uint64_t b = 0, std::uint64_t c = 0) {
+    if (capacity_ == 0) return;
+    record(t, entity, type, a, b, c);
+  }
+
+  /// Total records ever emitted == the index the *next* record gets.
+  [[nodiscard]] std::uint64_t next_index() const { return emitted_; }
+  /// Records currently retained in the ring.
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  /// Retained record `i`, oldest first.
+  [[nodiscard]] const TraceRecord& at(std::size_t i) const;
+
+  [[nodiscard]] std::size_t count(const TraceFilter& filter = {}) const;
+  /// One canonical JSON object per line (keys sorted), oldest first.
+  [[nodiscard]] std::string to_jsonl(const TraceFilter& filter = {}) const;
+
+  void clear();
+
+ private:
+  void record(sim::Time t, Entity entity, TraceType type, std::uint64_t a,
+              std::uint64_t b, std::uint64_t c);
+
+  std::vector<TraceRecord> ring_;
+  std::size_t capacity_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Plane & scope
+// ---------------------------------------------------------------------------
+
+/// One observability domain: a registry and a trace that age together.
+/// net::Network owns one; standalone modules share the global() plane.
+struct Plane {
+  Registry registry;
+  Trace trace;
+
+  /// Process-global fallback plane for modules constructed outside any
+  /// Network (unit tests, micro-benches).
+  static Plane& global();
+};
+
+/// The (plane, entity) pair a module observes through. Default (null
+/// plane) means "unbound": resolved() binds it to the global plane
+/// under a fresh anonymous entity. Modules should store the *resolved*
+/// scope once and register every metric through it, so all their slots
+/// share one entity.
+struct Scope {
+  Plane* plane = nullptr;
+  Entity entity{};
+
+  [[nodiscard]] Scope resolved() const {
+    if (plane != nullptr && entity.kind != EntityKind::kNone) return *this;
+    Scope s;
+    s.plane = plane != nullptr ? plane : &Plane::global();
+    s.entity = entity.kind != EntityKind::kNone ? entity : Entity::anon();
+    return s;
+  }
+
+  [[nodiscard]] Counter counter(std::string_view name) const {
+    Scope s = resolved();
+    return s.plane->registry.counter(name, s.entity);
+  }
+  [[nodiscard]] Counter gauge(std::string_view name) const {
+    Scope s = resolved();
+    return s.plane->registry.gauge(name, s.entity);
+  }
+  [[nodiscard]] Histogram histogram(std::string_view name) const {
+    Scope s = resolved();
+    return s.plane->registry.histogram(name, s.entity);
+  }
+
+  [[nodiscard]] bool tracing() const {
+    return plane != nullptr && plane->trace.enabled();
+  }
+  void emit(sim::Time t, TraceType type, std::uint64_t a = 0,
+            std::uint64_t b = 0, std::uint64_t c = 0) const {
+    if (plane != nullptr) plane->trace.emit(t, entity, type, a, b, c);
+  }
+};
+
+}  // namespace express::obs

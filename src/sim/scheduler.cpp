@@ -10,12 +10,17 @@ namespace {
 constexpr std::size_t kArity = 4;  // 4-ary heap: shallower, cache-friendlier
 }  // namespace
 
-Scheduler::Scheduler() {
-  for (auto& level : wheel_) level.fill(kNilSlot);
-}
+Scheduler::Scheduler() : Scheduler(true) {}
 
-Scheduler::Scheduler(bool use_timer_wheel) : Scheduler() {
+Scheduler::Scheduler(bool use_timer_wheel, obs::Scope scope)
+    : scope_(scope.resolved()) {
+  for (auto& level : wheel_) level.fill(kNilSlot);
   wheel_enabled_ = use_timer_wheel;
+  scheduled_ = scope_.counter("sim.sched.scheduled");
+  executed_ = scope_.counter("sim.sched.executed");
+  cancelled_ = scope_.counter("sim.sched.cancelled");
+  clamped_ = scope_.counter("sim.sched.clamped_past");
+  peak_pending_ = scope_.gauge("sim.sched.peak_pending");
 }
 
 std::uint32_t Scheduler::acquire_slot() {
@@ -207,7 +212,7 @@ bool Scheduler::refresh_front() {
 EventHandle Scheduler::schedule_at(Time when, Action action) {
   if (when < now_) {
     when = now_;
-    ++clamped_;
+    clamped_.inc();
   }
   const std::uint32_t slot = acquire_slot();
   EventRecord& rec = slab_[slot];
@@ -216,9 +221,8 @@ EventHandle Scheduler::schedule_at(Time when, Action action) {
   rec.live = true;
   rec.action = std::move(action);
   enqueue_record(slot, kWheelLevels);
-  ++scheduled_;
-  peak_pending_ =
-      std::max<std::uint64_t>(peak_pending_, heap_.size() + parked_);
+  scheduled_.inc();
+  peak_pending_.set_max(heap_.size() + parked_);
   return EventHandle{this, slot, rec.generation};
 }
 
@@ -237,13 +241,15 @@ std::uint64_t Scheduler::run_until(Time deadline) {
     now_ = rec.when;
     rec.live = false;
     ++rec.generation;  // fired events no longer report pending()
+    const std::uint64_t seq = rec.seq;
     // Move the closure out and recycle the slot *before* invoking: a
     // handler that reschedules (the common timer pattern) reuses this
     // very record, so steady state touches the allocator not at all.
     Action action = std::move(rec.action);
     release_slot(slot);
+    scope_.emit(now_, obs::TraceType::kTimerFire, seq);
     action();
-    ++executed_;
+    executed_.inc();
     ++ran;
   }
   if (deadline != kNever && now_ < deadline) now_ = deadline;
@@ -258,10 +264,12 @@ bool Scheduler::step() {
   now_ = rec.when;
   rec.live = false;
   ++rec.generation;
+  const std::uint64_t seq = rec.seq;
   Action action = std::move(rec.action);
   release_slot(slot);
+  scope_.emit(now_, obs::TraceType::kTimerFire, seq);
   action();
-  ++executed_;
+  executed_.inc();
   return true;
 }
 

@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
@@ -105,8 +106,10 @@ class Scheduler {
 
   /// `use_timer_wheel = false` forces every event through the heap —
   /// same dispatch order bit for bit, used by the determinism tests and
-  /// the timer-wheel A/B bench.
-  explicit Scheduler(bool use_timer_wheel);
+  /// the timer-wheel A/B bench. `scope` binds the scheduler's counters
+  /// (and kTimerFire trace records) to an observability plane; default
+  /// resolves to the process-global plane under an anonymous entity.
+  explicit Scheduler(bool use_timer_wheel, obs::Scope scope = {});
 
   /// Current simulated time. Starts at zero.
   [[nodiscard]] Time now() const { return now_; }
@@ -127,20 +130,26 @@ class Scheduler {
   [[nodiscard]] std::optional<Time> next_event_time();
 
   /// Total events executed since construction (cancelled events excluded).
-  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  [[nodiscard]] std::uint64_t executed_events() const {
+    return executed_.value();
+  }
 
   /// Events scheduled in the past and clamped to now() (see
   /// SchedulerStats::clamped_past_events).
-  [[nodiscard]] std::uint64_t clamped_past_events() const { return clamped_; }
+  [[nodiscard]] std::uint64_t clamped_past_events() const {
+    return clamped_.value();
+  }
 
+  /// Thin view over the registry slots (monotone counters) plus the
+  /// instantaneous queue/slab occupancy, which is read live.
   [[nodiscard]] SchedulerStats stats() const {
     SchedulerStats s;
-    s.scheduled = scheduled_;
-    s.executed = executed_;
-    s.cancelled = cancelled_;
-    s.clamped_past_events = clamped_;
+    s.scheduled = scheduled_.value();
+    s.executed = executed_.value();
+    s.cancelled = cancelled_.value();
+    s.clamped_past_events = clamped_.value();
     s.pending = heap_.size() + parked_;
-    s.peak_pending = peak_pending_;
+    s.peak_pending = peak_pending_.value();
     s.parked = parked_;
     s.slab_slots = slab_.size();
     s.free_slots = free_.size();
@@ -228,7 +237,7 @@ class Scheduler {
     rec.live = false;
     ++rec.generation;      // invalidate outstanding handles
     rec.action.reset();    // release captured resources immediately
-    ++cancelled_;
+    cancelled_.inc();
     // The slot itself is reclaimed when its heap entry surfaces or its
     // wheel slot cascades.
   }
@@ -275,11 +284,15 @@ class Scheduler {
 
   Time now_{0};
   std::uint64_t next_seq_ = 0;
-  std::uint64_t scheduled_ = 0;
-  std::uint64_t executed_ = 0;
-  std::uint64_t cancelled_ = 0;
-  std::uint64_t clamped_ = 0;
-  std::uint64_t peak_pending_ = 0;
+  /// Monotone counters live in the observability registry; the handles
+  /// below are one-pointer-indirect slots registered contiguously at
+  /// construction (see DESIGN.md §11).
+  obs::Scope scope_;
+  obs::Counter scheduled_;
+  obs::Counter executed_;
+  obs::Counter cancelled_;
+  obs::Counter clamped_;
+  obs::Counter peak_pending_;
 };
 
 inline void EventHandle::cancel() {

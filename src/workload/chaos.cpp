@@ -133,9 +133,19 @@ ChaosReport run_chaos_campaign(net::Network& network,
     network.run_until(network.now() + config.churn_window);
 
     outcome.injected_at = network.now();
-    for (net::LinkId link : fault.links) network.set_link_up(link, false);
+    for (net::LinkId link : fault.links) {
+      network.obs().trace.emit(network.now(), obs::Entity::link(link),
+                               obs::TraceType::kFaultInject, i,
+                               static_cast<std::uint64_t>(fault.kind));
+      network.set_link_up(link, false);
+    }
     network.run_until(network.now() + fault.hold);
-    for (net::LinkId link : fault.links) network.set_link_up(link, true);
+    for (net::LinkId link : fault.links) {
+      network.set_link_up(link, true);
+      network.obs().trace.emit(network.now(), obs::Entity::link(link),
+                               obs::TraceType::kFaultHeal, i,
+                               static_cast<std::uint64_t>(fault.kind));
+    }
     outcome.healed_at = network.now();
 
     // Settle: audit at every event boundary. Convergence is the first

@@ -1,0 +1,26 @@
+// Fixture: wall-clock stamping inside the observability plane.
+//
+// Trace records and metrics snapshots carry simulated time only
+// (DESIGN.md §11) — reading the environment clock when emitting a
+// record would make two identically-seeded captures differ byte-for-
+// byte. Confirms the banned-construct check covers obs-shaped code,
+// not just protocol modules.
+#include <chrono>
+#include <cstdint>
+
+namespace express::obs_fixture {
+
+struct Record {
+  std::int64_t time_ns = 0;
+  std::uint64_t index = 0;
+};
+
+inline Record stamp_record(std::uint64_t index) {
+  Record rec;
+  rec.index = index;
+  rec.time_ns =
+      std::chrono::system_clock::now().time_since_epoch().count();
+  return rec;
+}
+
+}  // namespace express::obs_fixture

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "express/fib.hpp"
-#include "express/interface_set.hpp"
+#include "net/interface_set.hpp"
 #include "sim/random.hpp"
 
 namespace express {
@@ -231,7 +231,7 @@ TEST(FlatFib, IterationOrderIsDeterministic) {
 }
 
 TEST(InterfaceSet, SetClearTest) {
-  InterfaceSet s;
+  net::InterfaceSet s;
   EXPECT_TRUE(s.empty());
   s.set(0);
   s.set(63);
@@ -249,7 +249,7 @@ TEST(InterfaceSet, SetClearTest) {
 }
 
 TEST(InterfaceSet, ForEachAscending) {
-  InterfaceSet s;
+  net::InterfaceSet s;
   s.set(5);
   s.set(70);
   s.set(2);
@@ -259,7 +259,7 @@ TEST(InterfaceSet, ForEachAscending) {
 }
 
 TEST(InterfaceSet, FitsIn32) {
-  InterfaceSet s;
+  net::InterfaceSet s;
   s.set(31);
   EXPECT_TRUE(s.fits_in_32());
   EXPECT_EQ(s.low32(), 1u << 31);
@@ -268,7 +268,7 @@ TEST(InterfaceSet, FitsIn32) {
 }
 
 TEST(InterfaceSet, EqualityIgnoresTrailingZeros) {
-  InterfaceSet a, b;
+  net::InterfaceSet a, b;
   a.set(100);
   a.clear(100);
   EXPECT_TRUE(a == b);

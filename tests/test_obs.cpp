@@ -1,0 +1,312 @@
+// The observability plane (DESIGN.md §11): metrics registry semantics,
+// the trace ring, and the two guarantees the refactor rests on —
+//   1. every legacy *Stats accessor is a thin view over registry
+//      slots (RouterStats aggregation == per-entity registry values
+//      after a seeded churn run), and
+//   2. identically-seeded runs serialize byte-identical metrics
+//      snapshots and trace JSONL, while different seeds diverge.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/invariants.hpp"
+#include "express/testbed.hpp"
+#include "obs/obs.hpp"
+#include "workload/chaos.hpp"
+#include "workload/churn.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace express {
+namespace {
+
+// ---------------------------------------------------------------------
+// Registry units
+// ---------------------------------------------------------------------
+
+TEST(ObsRegistry, CounterRoundTrip) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("test.hits", obs::Entity::router(3));
+  c.inc();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(reg.value("test.hits", obs::Entity::router(3)), 5u);
+  EXPECT_EQ(reg.value("test.hits", obs::Entity::router(4)), 0u);
+  EXPECT_EQ(reg.value("test.absent", obs::Entity::router(3)), 0u);
+}
+
+TEST(ObsRegistry, SumAggregatesOverEntities) {
+  obs::Registry reg;
+  reg.counter("test.hits", obs::Entity::router(1)).add(10);
+  reg.counter("test.hits", obs::Entity::router(2)).add(32);
+  reg.counter("test.hits", obs::Entity::host(1)).add(100);
+  reg.counter("test.other", obs::Entity::router(1)).add(7);
+  EXPECT_EQ(reg.sum("test.hits"), 142u);
+  EXPECT_EQ(reg.sum("test.other"), 7u);
+  EXPECT_EQ(reg.sum("test.absent"), 0u);
+}
+
+TEST(ObsRegistry, ReRegistrationZeroesTheSlot) {
+  // A fresh module instance re-registering its metrics starts from
+  // zero — stale values must not leak across e.g. testbed rebuilds.
+  obs::Registry reg;
+  reg.counter("test.hits", obs::Entity::router(1)).add(9);
+  obs::Counter again = reg.counter("test.hits", obs::Entity::router(1));
+  EXPECT_EQ(again.value(), 0u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ObsRegistry, GaugeSetMaxIsAHighWaterMark) {
+  obs::Registry reg;
+  obs::Counter g = reg.gauge("test.peak", obs::Entity::network());
+  g.set_max(5);
+  g.set_max(3);
+  EXPECT_EQ(g.value(), 5u);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2u);
+}
+
+TEST(ObsRegistry, HistogramBucketsByBitWidth) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("test.latency", obs::Entity::router(1));
+  h.observe(0);   // bucket 0
+  h.observe(1);   // bucket 1
+  h.observe(2);   // bucket 2: [2, 4)
+  h.observe(3);   // bucket 2
+  h.observe(4);   // bucket 3: [4, 8)
+  const obs::HistogramData& d = h.data();
+  EXPECT_EQ(d.count, 5u);
+  EXPECT_EQ(d.sum, 10u);
+  EXPECT_EQ(d.buckets[0], 1u);
+  EXPECT_EQ(d.buckets[1], 1u);
+  EXPECT_EQ(d.buckets[2], 2u);
+  EXPECT_EQ(d.buckets[3], 1u);
+}
+
+TEST(ObsRegistry, UnboundHandlesWriteToTheSink) {
+  // Default-constructed handles must be safe no-ops: modules may be
+  // built before (or without) a scope, e.g. in unit tests.
+  obs::Counter c;
+  c.inc();
+  c.add(10);
+  EXPECT_EQ(c.value(), 11u);  // sink accumulates, registry unaffected
+}
+
+// ---------------------------------------------------------------------
+// Trace ring
+// ---------------------------------------------------------------------
+
+TEST(ObsTrace, DisabledTraceRecordsNothing) {
+  obs::Trace trace;
+  trace.emit(sim::seconds(1), obs::Entity::router(1),
+             obs::TraceType::kTimerFire, 42);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.next_index(), 0u);
+}
+
+TEST(ObsTrace, RingOverwritesOldestButIndexKeepsGrowing) {
+  obs::Trace trace;
+  trace.enable(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    trace.emit(sim::Time{} + sim::milliseconds(i), obs::Entity::router(1),
+               obs::TraceType::kTimerFire, i);
+  }
+  EXPECT_EQ(trace.next_index(), 6u);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.at(0).index, 2u);  // oldest retained
+  EXPECT_EQ(trace.at(3).index, 5u);  // newest
+}
+
+TEST(ObsTrace, FilterByEntityAndType) {
+  obs::Trace trace;
+  trace.enable(16);
+  trace.emit(sim::seconds(1), obs::Entity::router(1),
+             obs::TraceType::kTimerFire);
+  trace.emit(sim::seconds(2), obs::Entity::router(2),
+             obs::TraceType::kTimerFire);
+  trace.emit(sim::seconds(3), obs::Entity::router(1),
+             obs::TraceType::kPacketSent);
+  obs::TraceFilter by_entity;
+  by_entity.entity = obs::Entity::router(1);
+  EXPECT_EQ(trace.count(by_entity), 2u);
+  obs::TraceFilter by_type;
+  by_type.type = obs::TraceType::kTimerFire;
+  EXPECT_EQ(trace.count(by_type), 2u);
+  by_entity.type = obs::TraceType::kPacketSent;
+  EXPECT_EQ(trace.count(by_entity), 1u);
+}
+
+TEST(ObsTrace, JsonlIsCanonical) {
+  obs::Trace trace;
+  trace.enable(4);
+  trace.emit(sim::milliseconds(5), obs::Entity::router(7),
+             obs::TraceType::kTimerFire, 1, 2, 3);
+  EXPECT_EQ(trace.to_jsonl(),
+            "{\"a\":1,\"b\":2,\"c\":3,\"entity\":\"router:7\",\"index\":0,"
+            "\"time_ns\":5000000,\"type\":\"timer_fire\"}\n");
+}
+
+// ---------------------------------------------------------------------
+// Views-over-registry regression (satellite: RouterStats aggregation)
+// ---------------------------------------------------------------------
+
+void run_churn(Testbed& bed, std::uint64_t seed) {
+  const ip::ChannelId channel = bed.source().allocate_channel();
+  sim::Rng rng(seed);
+  const sim::Duration horizon = sim::seconds(10);
+  const auto events = workload::poisson_churn(
+      static_cast<std::uint32_t>(bed.receiver_count()), horizon,
+      sim::seconds(5), sim::seconds(3), rng);
+  auto& sched = bed.net().scheduler();
+  for (const auto& ev : events) {
+    sched.schedule_at(ev.at, [&bed, &channel, ev] {
+      if (ev.join) {
+        bed.receiver(ev.host_index).new_subscription(channel);
+      } else {
+        bed.receiver(ev.host_index).delete_subscription(channel);
+      }
+    });
+  }
+  const std::vector<std::uint8_t> header(32, 0x5A);
+  std::uint64_t seq = 0;
+  for (sim::Time at = sim::milliseconds(200); at < horizon;
+       at += sim::milliseconds(200)) {
+    sched.schedule_at(at, [&bed, &channel, s = seq++] {
+      bed.source().send(channel, 500, s);
+    });
+  }
+  bed.net().run();
+}
+
+TEST(ObsViews, RouterStatsEqualsRegistrySlotsAfterSeededChurn) {
+  Testbed bed(workload::make_kary_tree(2, 3, {}, 2));
+  run_churn(bed, 7);
+
+  const obs::Registry& reg = bed.net().obs().registry;
+  std::uint64_t churn_events = 0;
+  for (std::size_t i = 0; i < bed.router_count(); ++i) {
+    const ExpressRouter& r = bed.router(i);
+    const obs::Entity e = obs::Entity::router(r.id());
+    const RouterStats s = r.stats();
+    EXPECT_EQ(s.subscribe_events, reg.value("express.sub.subscribe_events", e));
+    EXPECT_EQ(s.unsubscribe_events,
+              reg.value("express.sub.unsubscribe_events", e));
+    EXPECT_EQ(s.joins_sent, reg.value("express.sub.joins_sent", e));
+    EXPECT_EQ(s.prunes_sent, reg.value("express.sub.prunes_sent", e));
+    EXPECT_EQ(s.counts_sent, reg.value("ecmp.transport.counts_sent", e));
+    EXPECT_EQ(s.counts_received,
+              reg.value("ecmp.transport.counts_received", e));
+    EXPECT_EQ(s.control_bytes_sent,
+              reg.value("ecmp.transport.control_bytes_sent", e));
+    EXPECT_EQ(s.proactive_updates_sent,
+              reg.value("express.counting.proactive_updates_sent", e));
+    EXPECT_EQ(s.data_packets_forwarded,
+              reg.value("express.fwd.data_packets_forwarded", e));
+    EXPECT_EQ(s.data_copies_sent,
+              reg.value("express.fwd.data_copies_sent", e));
+    churn_events += s.subscribe_events + s.unsubscribe_events;
+  }
+  EXPECT_GT(churn_events, 0u);  // the scenario actually exercised churn
+
+  // And the cross-router sums the benches publish match a registry sum.
+  std::uint64_t fwd = 0;
+  for (std::size_t i = 0; i < bed.router_count(); ++i) {
+    fwd += bed.router(i).stats().data_packets_forwarded;
+  }
+  EXPECT_EQ(fwd, reg.sum("express.fwd.data_packets_forwarded"));
+}
+
+// ---------------------------------------------------------------------
+// Snapshot determinism (satellite: byte-identical artifacts)
+// ---------------------------------------------------------------------
+
+/// Capture {metrics snapshot, trace JSONL} for a seeded churn run.
+std::pair<std::string, std::string> capture_churn(std::uint64_t seed) {
+  Testbed bed(workload::make_kary_tree(2, 3, {}, 2));
+  bed.net().obs().trace.enable(1 << 16);
+  run_churn(bed, seed);
+  const obs::Plane& plane = bed.net().obs();
+  return {plane.registry.snapshot_json(bed.net().now()),
+          plane.trace.to_jsonl()};
+}
+
+TEST(ObsDeterminism, SameSeedChurnCapturesAreByteIdentical) {
+  const auto a = capture_churn(7);
+  const auto b = capture_churn(7);
+  EXPECT_GT(a.first.size(), 0u);
+  EXPECT_GT(a.second.size(), 0u);
+  EXPECT_EQ(a.first, b.first);    // metrics snapshot
+  EXPECT_EQ(a.second, b.second);  // trace JSONL
+}
+
+TEST(ObsDeterminism, DifferentSeedDiverges) {
+  const auto a = capture_churn(7);
+  const auto b = capture_churn(8);
+  EXPECT_NE(a.second, b.second);
+}
+
+/// Capture the observability artifacts of a seeded chaos soak: faults
+/// injected and healed over a transit-stub topology with churn in
+/// flight, audited at every settle step.
+std::pair<std::string, std::string> capture_chaos(std::uint64_t seed) {
+  sim::Rng topo_rng(seed);
+  Testbed bed(workload::make_transit_stub(4, 2, 2, topo_rng));
+  bed.net().obs().trace.enable(1 << 16);
+  const ip::ChannelId channel = bed.source().allocate_channel();
+  for (std::size_t i = 0; i < bed.receiver_count(); i += 3) {
+    bed.receiver(i).new_subscription(channel);
+  }
+  bed.net().run_until(sim::seconds(2));
+
+  workload::FaultPlanConfig plan;
+  plan.fault_count = 4;
+  sim::Rng fault_rng(seed + 1);
+  const auto schedule = workload::make_fault_schedule(bed.net().topology(),
+                                                      plan, fault_rng);
+  const auto report = workload::run_chaos_campaign(
+      bed.net(), schedule, workload::ChaosConfig{}, [&bed] {
+        return audit::InvariantAuditor(bed.net()).run().violations.size();
+      });
+  EXPECT_EQ(report.violations, 0u);
+
+  const obs::Plane& plane = bed.net().obs();
+  return {plane.registry.snapshot_json(bed.net().now()),
+          plane.trace.to_jsonl()};
+}
+
+TEST(ObsDeterminism, SameSeedChaosSoaksAreByteIdentical) {
+  const auto a = capture_chaos(11);
+  const auto b = capture_chaos(11);
+  EXPECT_NE(a.second.find("fault_inject"), std::string::npos);
+  EXPECT_NE(a.second.find("fault_heal"), std::string::npos);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+// ---------------------------------------------------------------------
+// Audit anchoring: violations reference trace indices
+// ---------------------------------------------------------------------
+
+TEST(ObsAudit, ViolationsCarryTheTracePosition) {
+  Testbed bed(workload::make_kary_tree(2, 2, {}, 2));
+  bed.net().obs().trace.enable(1 << 12);
+  const ip::ChannelId channel = bed.source().allocate_channel();
+  bed.receiver(0).new_subscription(channel);
+  // Audit mid-flight: the leaf router processed the join but its Count
+  // to the parent is still on the wire, so conservation disagrees.
+  bed.run_for(sim::milliseconds(2));
+  const std::uint64_t emitted = bed.net().obs().trace.next_index();
+  ASSERT_GT(emitted, 0u);
+
+  const auto report = audit::InvariantAuditor(bed.net()).run();
+  ASSERT_FALSE(report.violations.empty());
+  for (const auto& v : report.violations) {
+    // Anchored at audit time: every event with index < trace_index
+    // preceded the violation (the audit itself emits nothing).
+    EXPECT_EQ(v.trace_index, emitted);
+  }
+}
+
+}  // namespace
+}  // namespace express
