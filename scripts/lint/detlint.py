@@ -94,7 +94,14 @@ EFFECT_RE = re.compile(
     re.VERBOSE,
 )
 
-BANNED_RANDOM_RE = re.compile(r"\b(?:rand|srand|random|drand48|lrand48)\s*\(|std::random_device")
+# Loss-model / jitter randomness must come from a seeded sim::Rng owned
+# by the scenario: libc generators and the std <random> engines and
+# distributions all carry hidden state the replay cannot reproduce.
+BANNED_RANDOM_RE = re.compile(
+    r"\b(?:rand|srand|random|drand48|lrand48)\s*\(|std::random_device"
+    r"|std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine)\b"
+    r"|std::\w+_distribution\b"
+)
 BANNED_CLOCK_RE = re.compile(
     r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
     r"|\b(?:time|gettimeofday|clock_gettime|localtime|gmtime|clock)\s*\(\s*(?:NULL|nullptr|&|\))"
@@ -430,6 +437,7 @@ SELF_TESTS = {
     "discarded_effects.cpp": {"discarded-effect"},
     "bare_suppression.cpp": {"bare-suppression"},
     "wall_clock_in_obs.cpp": {"banned-construct"},
+    "loss_model_rand.cpp": {"banned-construct"},
     "clean.cpp": set(),
 }
 
@@ -438,6 +446,7 @@ SELF_TESTS = {
 SELF_TEST_MIN_COUNTS = {
     "banned_constructs.cpp": 4,       # rand, time, new, delete
     "uninitialized_message_pod.cpp": 2,  # seq, urgent
+    "loss_model_rand.cpp": 3,  # rand, mt19937, bernoulli_distribution
 }
 
 

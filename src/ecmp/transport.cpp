@@ -1,5 +1,6 @@
 #include "ecmp/transport.hpp"
 
+#include <algorithm>
 #include <utility>
 #include <variant>
 
@@ -87,6 +88,17 @@ void Transport::send_lan_query(std::uint32_t iface, const CountQuery& query) {
   stats_.queries_sent.inc();
 }
 
+void Transport::send_remote(ip::Address dest, const Message& msg) {
+  classify_sent(msg);
+  net::Packet packet;
+  packet.src = network_->topology().node(node_).address;
+  packet.dst = dest;
+  packet.protocol = ip::Protocol::kEcmp;
+  packet.payload = encode(msg);
+  stats_.control_bytes_sent.add(packet.payload.size());
+  network_->send_unicast(node_, std::move(packet));
+}
+
 Delivery Transport::receive(const net::Packet& packet,
                             std::uint32_t in_iface) {
   Delivery delivery;
@@ -135,9 +147,24 @@ void Transport::schedule_udp_refresh() {
 }
 
 void Transport::udp_refresh_tick() {
-  if (hooks_.udp_refresh_round) hooks_.udp_refresh_round();
+  const bool more = hooks_.udp_refresh_round && hooks_.udp_refresh_round();
+  if (!more) {
+    // No UDP soft state left (all downstream entries expired or their
+    // neighbors died): let the clock run dry instead of ticking — and
+    // sending refresh queries — forever. ensure_udp_refresh() re-arms
+    // it when the next UDP-mode join installs state.
+    udp_refresh_scheduled_ = false;
+    return;
+  }
   network_->scheduler().schedule_after(policy_.udp_query_interval,
                                        [this]() { udp_refresh_tick(); });
+}
+
+void Transport::ensure_udp_refresh() {
+  const bool any_udp =
+      std::any_of(iface_modes_.begin(), iface_modes_.end(),
+                  [](const auto& kv) { return kv.second == Mode::kUdp; });
+  if (any_udp) schedule_udp_refresh();
 }
 
 // ---------------------------------------------------------------------

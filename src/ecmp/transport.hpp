@@ -84,8 +84,12 @@ struct TransportStats {
 /// Upcalls from the session machinery into the protocol layers.
 struct TransportHooks {
   /// One UDP soft-state refresh round is due (fires every
-  /// udp_query_interval once any interface runs in UDP mode).
-  std::function<void()> udp_refresh_round;
+  /// udp_query_interval while any interface runs in UDP mode). Returns
+  /// whether UDP soft state remains: when false the refresh clock
+  /// stops, so torn-down neighbors (chaos router death) stop leaking
+  /// scheduled events and refresh bytes. ensure_udp_refresh() re-arms
+  /// it when new soft state appears.
+  std::function<bool()> udp_refresh_round;
   /// A neighbor's session expired (keepalive timeout, §3.2/§3.3).
   std::function<void(net::NodeId)> neighbor_died;
 };
@@ -118,12 +122,26 @@ class Transport {
   /// packet to the all-routers group covers every member on the wire.
   void send_lan_query(std::uint32_t iface, const CountQuery& query);
 
+  /// Unicast one message to a non-adjacent ECMP speaker (e.g. the host
+  /// that tunnelled a remote CountQuery here, §2.1). Routed as pure IP
+  /// transit: intermediate routers never dispatch it.
+  void send_remote(ip::Address dest, const Message& msg);
+
   /// Account, attribute, and decode an inbound ECMP packet.
   Delivery receive(const net::Packet& packet, std::uint32_t in_iface);
 
   // --- interface modes (§3.2) ----------------------------------------
   void set_mode(std::uint32_t iface, Mode mode);
   [[nodiscard]] Mode mode(std::uint32_t iface) const;
+
+  /// Re-arm the UDP refresh clock if any interface runs in UDP mode.
+  /// Called by the subscription layer when new UDP soft state is
+  /// installed after the clock ran dry (see TransportHooks).
+  void ensure_udp_refresh();
+  /// True while a refresh tick is scheduled (test introspection).
+  [[nodiscard]] bool udp_refresh_active() const {
+    return udp_refresh_scheduled_;
+  }
 
   // --- sequence numbers ----------------------------------------------
   /// Next value of the shared control-sequence counter (discovery

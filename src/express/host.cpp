@@ -99,9 +99,8 @@ void ExpressHost::subcast(const ip::ChannelId& channel, ip::Address relay_router
   network().send_unicast(id(), std::move(outer));
 }
 
-void ExpressHost::count_query(const ip::ChannelId& channel,
-                              ecmp::CountId count_id, sim::Duration timeout,
-                              std::function<void(CountResult)> done) {
+std::uint32_t ExpressHost::register_pending_query(
+    sim::Duration timeout, std::function<void(CountResult)> done) {
   const std::uint32_t seq = next_query_seq_++;
   // Safety net: if the reply is lost (e.g. first-hop link failure),
   // resolve locally with a zero partial result after a grace period.
@@ -114,13 +113,47 @@ void ExpressHost::count_query(const ip::ChannelId& channel,
         if (cb) cb(CountResult{0, false});
       });
   pending_queries_.emplace(seq, std::make_pair(std::move(done), guard));
+  return seq;
+}
 
+void ExpressHost::count_query(const ip::ChannelId& channel,
+                              ecmp::CountId count_id, sim::Duration timeout,
+                              std::function<void(CountResult)> done) {
+  const std::uint32_t seq = register_pending_query(timeout, std::move(done));
   ecmp::CountQuery query;
   query.channel = channel;
   query.count_id = count_id;
   query.timeout = timeout;
   query.query_seq = seq;
   send_ecmp(query);
+}
+
+void ExpressHost::count_query_at(ip::Address subtree_router,
+                                 const ip::ChannelId& channel,
+                                 ecmp::CountId count_id, sim::Duration timeout,
+                                 std::function<void(CountResult)> done) {
+  const std::uint32_t seq = register_pending_query(timeout, std::move(done));
+  ecmp::CountQuery query;
+  query.channel = channel;
+  query.count_id = count_id;
+  query.timeout = timeout;
+  query.query_seq = seq;
+
+  // Tunnel the query to the target router like a subcast (§2.1): the
+  // outer source must equal the inner source for the router to accept.
+  auto inner = std::make_shared<net::Packet>();
+  inner->src = address();
+  inner->dst = subtree_router;
+  inner->protocol = ip::Protocol::kEcmp;
+  inner->payload = ecmp::encode(ecmp::Message{query});
+  stats_.control_bytes_sent.add(inner->payload.size());
+
+  net::Packet outer;
+  outer.src = address();
+  outer.dst = subtree_router;
+  outer.protocol = ip::Protocol::kIpInIp;
+  outer.inner = std::move(inner);
+  network().send_unicast(id(), std::move(outer));
 }
 
 // ---------------------------------------------------------------------

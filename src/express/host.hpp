@@ -76,6 +76,15 @@ class ExpressHost : public net::Node {
                    sim::Duration timeout,
                    std::function<void(CountResult)> done);
 
+  /// CountQuery aimed at a remote on-tree router: the query is
+  /// tunnelled IP-in-IP to `subtree_router` (subcast-style targeting,
+  /// §2.1), which counts over ITS subtree only and unicasts the
+  /// aggregate back. The reliable publisher uses this to size the loss
+  /// subtree below a candidate repair point.
+  void count_query_at(ip::Address subtree_router, const ip::ChannelId& channel,
+                      ecmp::CountId count_id, sim::Duration timeout,
+                      std::function<void(CountResult)> done);
+
   // --- subscriber-side interface --------------------------------------
   using SubscribeCallback = std::function<void(ecmp::Status)>;
 
@@ -162,6 +171,10 @@ class ExpressHost : public net::Node {
   };
 
   void send_ecmp(const ecmp::Message& msg);
+  /// Register a pending CountQuery callback (with its lost-reply guard
+  /// timer) and return the query sequence number to send.
+  std::uint32_t register_pending_query(sim::Duration timeout,
+                                       std::function<void(CountResult)> done);
   void on_query(const ecmp::CountQuery& query);
   void on_count(const ecmp::Count& count);
   void on_response(const ecmp::CountResponse& response);

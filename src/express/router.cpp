@@ -46,7 +46,7 @@ ExpressRouter::ExpressRouter(net::Network& network, net::NodeId id,
           scope_),
       transport_(network, id, make_policy(config),
                  ecmp::TransportHooks{
-                     [this]() { udp_refresh_round(); },
+                     [this]() { return udp_refresh_round(); },
                      [this](net::NodeId neighbor) { neighbor_died(neighbor); },
                  }) {
   unresolved_neighbor_updates_ =
@@ -64,10 +64,16 @@ void ExpressRouter::handle_packet(const net::Packet& packet,
     return;
   }
   if (packet.protocol == ip::Protocol::kIpInIp && packet.dst == address()) {
-    // Only the channel source may subcast (§7.1): the outer unicast
-    // source must be the inner channel source.
+    // Only the original sender may tunnel to us (§7.1): the outer
+    // unicast source must match the inner source.
     if (packet.inner && packet.inner->src == packet.src) {
-      forwarding_.relay_subcast(packet);
+      if (packet.inner->protocol == ip::Protocol::kEcmp) {
+        // Remote CountQuery tunnelled to this on-tree router (§2.1):
+        // the reliable publisher sizing a candidate repair subtree.
+        on_remote_query(*packet.inner);
+      } else {
+        forwarding_.relay_subcast(packet);
+      }
     }
     return;
   }
@@ -155,7 +161,12 @@ void ExpressRouter::apply_subscriber_count(const ip::ChannelId& channel,
     return;
   }
 
-  // Join or refresh.
+  // Join or refresh. New UDP-mode soft state must keep the refresh
+  // clock alive — re-arm it here in case it ran dry after the previous
+  // entries expired or their neighbors died.
+  if (transport_.mode(iface) == ecmp::Mode::kUdp) {
+    transport_.ensure_udp_refresh();
+  }
   bool created = false;
   Channel& state = table_.get_or_create(channel, created);
   if (!created && table_.refresh_existing(channel, from, count, now)) {
@@ -373,6 +384,25 @@ void ExpressRouter::on_query(const ecmp::CountQuery& msg, net::NodeId from,
       msg.timeout, transport_.link_rtt(iface), config_.timeout_rtt_multiple);
   start_query(msg.channel, msg.count_id, remaining, from, msg.query_seq,
               nullptr);
+}
+
+void ExpressRouter::on_remote_query(const net::Packet& inner) {
+  const ip::Address requester = inner.src;
+  for (const ecmp::Message& msg : ecmp::decode_all(inner.payload)) {
+    const auto* q = std::get_if<ecmp::CountQuery>(&msg);
+    if (q == nullptr) continue;
+    const ecmp::CountQuery query = *q;
+    start_query(query.channel, query.count_id, query.timeout, std::nullopt,
+                query.query_seq, [this, requester, query](CountResult result) {
+                  // Reply straight to the querying host as pure IP
+                  // transit — a hop-by-hop ECMP send would be consumed
+                  // by the first intermediate router.
+                  transport_.send_remote(
+                      requester, ecmp::Message{ecmp::Count{
+                                     query.channel, query.count_id,
+                                     result.count, query.query_seq}});
+                });
+  }
 }
 
 void ExpressRouter::initiate_count(const ip::ChannelId& channel,

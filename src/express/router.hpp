@@ -110,6 +110,11 @@ class ExpressRouter : public net::Node {
   [[nodiscard]] ecmp::Mode interface_mode(std::uint32_t iface) const {
     return transport_.mode(iface);
   }
+  /// True while the UDP soft-state refresh clock is armed (it runs dry
+  /// when no UDP downstream state remains; see TransportHooks).
+  [[nodiscard]] bool udp_refresh_active() const {
+    return transport_.udp_refresh_active();
+  }
 
   /// Router-initiated count (§3.1): any on-tree router can measure its
   /// subtree without source cooperation, e.g. a transit domain's ingress
@@ -274,8 +279,12 @@ class ExpressRouter : public net::Node {
     transport_.send(to,
                     ecmp::CountQuery{channel, count_id, timeout, query_seq});
   }
-  void udp_refresh_round();
+  /// One UDP soft-state refresh round; returns whether UDP soft state
+  /// remains (false lets the transport's refresh clock run dry).
+  bool udp_refresh_round();
   void neighbor_died(net::NodeId neighbor);
+  /// Remote CountQuery tunnelled IP-in-IP to this router (§2.1).
+  void on_remote_query(const net::Packet& inner);
 
   // --- route changes --------------------------------------------------
   void execute_route_switch(const ip::ChannelId& channel);

@@ -15,7 +15,7 @@ namespace express {
 // Transport reactions
 // ---------------------------------------------------------------------
 
-void ExpressRouter::udp_refresh_round() {
+bool ExpressRouter::udp_refresh_round() {
   const std::vector<UdpAction> actions = table_.udp_refresh_actions(
       network(), id(), network().now(), transport_.policy().udp_lifetime(),
       [this](std::uint32_t iface) {
@@ -24,6 +24,10 @@ void ExpressRouter::udp_refresh_round() {
   for (const UdpAction& action : actions) {
     switch (action.kind) {
       case UdpAction::Kind::kUnicastQuery:
+        // A dead neighbor (chaos router death, downed link) cannot
+        // answer: skip the query instead of leaking refresh bytes onto
+        // the dead link. The entry still ages out via kExpire.
+        if (!neighbor_reachable(action.neighbor)) break;
         send_query(action.neighbor, action.channel, ecmp::kSubscriberId,
                    transport_.policy().udp_reply_timeout(), 0);
         break;
@@ -39,6 +43,9 @@ void ExpressRouter::udp_refresh_round() {
         break;
     }
   }
+  // An empty action list means no downstream entry lives on a UDP
+  // interface: tell the transport to let the refresh clock run dry.
+  return !actions.empty();
 }
 
 void ExpressRouter::neighbor_died(net::NodeId neighbor) {

@@ -1,0 +1,61 @@
+// Per-link impairment model: loss, burst loss, and reordering.
+//
+// Real wide-area links lose and reorder packets; the reliable-repair
+// path (paper §2.2.1) only earns its keep under exactly those
+// conditions. Each link direction can be given an ImpairmentConfig —
+// Bernoulli i.i.d. loss, two-state Gilbert-Elliott burst loss, and a
+// fixed reorder window — whose dice all come from one seeded sim::Rng
+// owned by the Network, so impaired runs are bit-for-bit reproducible
+// from (seed, scenario).
+//
+// Everything is off by default, and a disarmed network draws ZERO
+// random numbers on the packet path, so every pinned trace and golden
+// snapshot from lossless runs stays byte-identical.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace express::net {
+
+/// Loss process for one link direction.
+struct LossModel {
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    kBernoulli,  ///< i.i.d. loss with probability `p`
+    kGilbert,    ///< two-state Gilbert-Elliott burst loss
+  };
+
+  Kind kind = Kind::kNone;
+  /// Bernoulli loss probability (kBernoulli only).
+  double p = 0.0;
+  /// Gilbert-Elliott parameters: per-packet state transitions and
+  /// per-state loss probabilities. Defaults give short loss bursts
+  /// (~4 packets) separated by long good runs.
+  double gilbert_enter_bad = 0.05;  ///< P(good -> bad) per packet
+  double gilbert_exit_bad = 0.25;   ///< P(bad -> good) per packet
+  double gilbert_loss_good = 0.0;   ///< loss probability in the good state
+  double gilbert_loss_bad = 0.5;    ///< loss probability in the bad state
+};
+
+/// Impairment knobs for one link (both directions share the config;
+/// Gilbert state is tracked per direction). All neutral by default.
+struct ImpairmentConfig {
+  LossModel loss;
+  /// Probability a surviving packet is held back by `reorder_window`
+  /// beyond its FIFO arrival time, letting later packets overtake it.
+  double reorder_p = 0.0;
+  sim::Duration reorder_window = sim::milliseconds(2);
+  /// Impair only the data plane (UDP channel traffic and IP-in-IP
+  /// subcast tunnels carrying it). ECMP control runs over TCP in the
+  /// paper (§3.2) and is modeled reliable, so count queries and
+  /// responses pass untouched unless this is cleared.
+  bool data_only = true;
+
+  [[nodiscard]] bool enabled() const {
+    return loss.kind != LossModel::Kind::kNone || reorder_p > 0.0;
+  }
+};
+
+}  // namespace express::net

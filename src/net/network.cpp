@@ -32,6 +32,78 @@ sim::Time Network::reserve_link(NodeId from, LinkId link, std::uint32_t bytes,
   return done + l.delay;  // arrival at the peer
 }
 
+void Network::set_link_impairments(LinkId link, const ImpairmentConfig& config) {
+  if (impair_cfg_.empty()) {
+    impair_cfg_.resize(topology_.link_count());
+    impair_gilbert_bad_.resize(topology_.link_count());
+  }
+  impair_cfg_.at(link) = config;
+  impair_gilbert_bad_.at(link) = {};
+  impairments_armed_ = false;
+  for (const ImpairmentConfig& c : impair_cfg_) {
+    if (c.enabled()) {
+      impairments_armed_ = true;
+      break;
+    }
+  }
+}
+
+void Network::set_default_impairments(const ImpairmentConfig& config) {
+  for (LinkId l = 0; l < topology_.link_count(); ++l) {
+    set_link_impairments(l, config);
+  }
+}
+
+void Network::seed_impairments(std::uint64_t seed) {
+  impair_rng_.reseed(seed);
+  for (auto& state : impair_gilbert_bad_) state = {};
+}
+
+Network::ImpairmentVerdict Network::roll_impairment(NodeId from, LinkId link,
+                                                    const Packet& packet) {
+  const ImpairmentConfig& cfg = impair_cfg_[link];
+  if (!cfg.enabled()) return ImpairmentVerdict::kDeliver;
+  if (cfg.data_only) {
+    const bool data =
+        packet.protocol == ip::Protocol::kUdp ||
+        (packet.protocol == ip::Protocol::kIpInIp && packet.inner &&
+         packet.inner->protocol == ip::Protocol::kUdp);
+    if (!data) return ImpairmentVerdict::kDeliver;
+  }
+  bool lost = false;
+  switch (cfg.loss.kind) {
+    case LossModel::Kind::kNone:
+      break;
+    case LossModel::Kind::kBernoulli:
+      lost = impair_rng_.chance(cfg.loss.p);
+      break;
+    case LossModel::Kind::kGilbert: {
+      const LinkInfo& l = topology_.link(link);
+      std::uint8_t& bad = impair_gilbert_bad_[link][(l.a == from) ? 0 : 1];
+      lost = impair_rng_.chance(bad != 0 ? cfg.loss.gilbert_loss_bad
+                                         : cfg.loss.gilbert_loss_good);
+      const double flip =
+          bad != 0 ? cfg.loss.gilbert_exit_bad : cfg.loss.gilbert_enter_bad;
+      if (impair_rng_.chance(flip)) bad = bad != 0 ? 0 : 1;
+      break;
+    }
+  }
+  if (lost) {
+    stats_.dropped_loss.inc();
+    plane_.trace.emit(scheduler_.now(), obs::Entity::link(link),
+                      obs::TraceType::kPacketLost, from, packet.wire_size());
+    return ImpairmentVerdict::kDrop;
+  }
+  if (cfg.reorder_p > 0.0 && impair_rng_.chance(cfg.reorder_p)) {
+    stats_.reordered.inc();
+    plane_.trace.emit(scheduler_.now(), obs::Entity::link(link),
+                      obs::TraceType::kPacketReordered, from,
+                      packet.wire_size());
+    return ImpairmentVerdict::kDelay;
+  }
+  return ImpairmentVerdict::kDeliver;
+}
+
 void Network::deliver_packet(NodeId to, const Packet& packet,
                              std::uint32_t iface) {
   // enabled() gate first: the entity lookup and wire_size() walk stay
@@ -52,8 +124,19 @@ void Network::transmit(NodeId from, LinkId link, Packet packet) {
     return;
   }
   const NodeId to = topology_.peer(link, from);
-  const sim::Time arrival =
+  sim::Time arrival =
       reserve_link(from, link, packet.wire_size(), scheduler_.now());
+  if (impairments_armed_) {
+    switch (roll_impairment(from, link, packet)) {
+      case ImpairmentVerdict::kDrop:
+        return;  // wire time already consumed, copy never arrives
+      case ImpairmentVerdict::kDelay:
+        arrival += impair_cfg_[link].reorder_window;
+        break;
+      case ImpairmentVerdict::kDeliver:
+        break;
+    }
+  }
   auto iface_at_peer = topology_.interface_on(to, link);
   scheduler_.schedule_at(
       arrival, [this, to, iface = *iface_at_peer, p = std::move(packet)]() {
@@ -97,8 +180,19 @@ bool Network::Fanout::add(std::uint32_t iface) {
     return false;
   }
   const NodeId to = net.topology_.peer(link, from_);
-  const sim::Time arrival =
+  sim::Time arrival =
       net.reserve_link(from_, link, wire_bytes_, net.scheduler_.now());
+  if (net.impairments_armed_) {
+    switch (net.roll_impairment(from_, link, packet_)) {
+      case ImpairmentVerdict::kDrop:
+        return true;  // copy consumed its wire slot but is gone
+      case ImpairmentVerdict::kDelay:
+        arrival += net.impair_cfg_[link].reorder_window;
+        break;
+      case ImpairmentVerdict::kDeliver:
+        break;
+    }
+  }
   const DeliveryTarget target{to, *net.topology_.interface_on(to, link)};
   if (!net.fanout_batching_) {
     net.scheduler_.schedule_at(arrival, [n = net_, target, p = packet_]() {
@@ -194,6 +288,17 @@ void Network::send_unicast(NodeId from, Packet packet) {
       return;
     }
     at = reserve_link(hops[i], link, size, at);
+    if (impairments_armed_) {
+      switch (roll_impairment(hops[i], link, packet)) {
+        case ImpairmentVerdict::kDrop:
+          return;  // lost mid-path; upstream links already charged
+        case ImpairmentVerdict::kDelay:
+          at += impair_cfg_[link].reorder_window;
+          break;
+        case ImpairmentVerdict::kDeliver:
+          break;
+      }
+    }
   }
   packet.ttl = ttl;
   const NodeId to = *dest;

@@ -19,11 +19,13 @@
 #include <utility>
 #include <vector>
 
+#include "net/impairment.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "obs/obs.hpp"
+#include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
 namespace express::net {
@@ -39,6 +41,8 @@ struct NetworkStats {
   std::uint64_t packets_dropped_link_down = 0;
   std::uint64_t packets_dropped_no_route = 0;
   std::uint64_t packets_dropped_ttl = 0;
+  std::uint64_t packets_dropped_loss = 0;  ///< impairment-model losses
+  std::uint64_t packets_reordered = 0;     ///< impairment-model reorders
 };
 
 /// One delivery destination of a batched fan-out.
@@ -62,6 +66,8 @@ class Network {
     stats_.dropped_link_down = scope.counter("net.drop.link_down");
     stats_.dropped_no_route = scope.counter("net.drop.no_route");
     stats_.dropped_ttl = scope.counter("net.drop.ttl");
+    stats_.dropped_loss = scope.counter("net.drop.loss");
+    stats_.reordered = scope.counter("net.reordered");
     link_stats_.resize(topology_.link_count());
     for (LinkId l = 0; l < topology_.link_count(); ++l) {
       const obs::Entity e = obs::Entity::link(l);
@@ -182,6 +188,24 @@ class Network {
   /// Fail or restore a link; recomputes routing and notifies all nodes.
   void set_link_up(LinkId link, bool up);
 
+  /// Apply `config` to one link (both directions). Loss and reorder
+  /// dice come from the network-owned impairment RNG; reseed via
+  /// seed_impairments() before traffic for reproducible campaigns.
+  void set_link_impairments(LinkId link, const ImpairmentConfig& config);
+
+  /// Apply `config` to every link. Equivalent to calling
+  /// set_link_impairments() per link; per-link overrides can follow.
+  void set_default_impairments(const ImpairmentConfig& config);
+
+  /// Reseed the impairment RNG (also resets Gilbert burst state). A
+  /// network whose links all carry neutral configs draws nothing.
+  void seed_impairments(std::uint64_t seed);
+
+  [[nodiscard]] const ImpairmentConfig& link_impairments(LinkId link) const {
+    static const ImpairmentConfig kNeutral{};
+    return link < impair_cfg_.size() ? impair_cfg_[link] : kNeutral;
+  }
+
   /// Thin views over the registry slots (see DESIGN.md §11).
   [[nodiscard]] NetworkStats stats() const {
     NetworkStats s;
@@ -190,6 +214,8 @@ class Network {
     s.packets_dropped_link_down = stats_.dropped_link_down.value();
     s.packets_dropped_no_route = stats_.dropped_no_route.value();
     s.packets_dropped_ttl = stats_.dropped_ttl.value();
+    s.packets_dropped_loss = stats_.dropped_loss.value();
+    s.packets_reordered = stats_.reordered.value();
     return s;
   }
   [[nodiscard]] LinkStats link_stats(LinkId link) const {
@@ -222,6 +248,15 @@ class Network {
   sim::Time reserve_link(NodeId from, LinkId link, std::uint32_t bytes,
                          sim::Time earliest);
 
+  /// Impairment verdict for one copy crossing `link` out of `from`.
+  /// Called AFTER reserve_link: a lost packet still occupied the wire,
+  /// so surviving traffic keeps its exact FIFO timing whether or not
+  /// loss is enabled. Callers gate on impairments_armed_ so the
+  /// disarmed fast path stays a single branch with zero RNG draws.
+  enum class ImpairmentVerdict : std::uint8_t { kDeliver, kDrop, kDelay };
+  ImpairmentVerdict roll_impairment(NodeId from, LinkId link,
+                                    const Packet& packet);
+
   /// Pooled storage for multi-target fan-out groups. Records are
   /// recycled through a free list with their target capacity intact,
   /// so steady-state batched delivery never touches the allocator.
@@ -240,6 +275,8 @@ class Network {
     obs::Counter dropped_link_down;
     obs::Counter dropped_no_route;
     obs::Counter dropped_ttl;
+    obs::Counter dropped_loss;
+    obs::Counter reordered;
   };
   struct LinkCounters {
     obs::Counter packets;
@@ -260,6 +297,14 @@ class Network {
   std::vector<FanoutBatch> fanout_pool_;
   std::vector<std::uint32_t> fanout_free_;  // recycled pool ids
   bool fanout_batching_ = true;
+  /// Impairment state. The vectors stay empty until a config is set,
+  /// and impairments_armed_ keeps the lossless packet path at one
+  /// branch (no lookups, no RNG) — pinned traces depend on that.
+  std::vector<ImpairmentConfig> impair_cfg_;
+  /// Gilbert-Elliott "in bad state" flag per link direction.
+  std::vector<std::array<std::uint8_t, 2>> impair_gilbert_bad_;
+  sim::Rng impair_rng_;
+  bool impairments_armed_ = false;
   NetworkCounters stats_;
 };
 

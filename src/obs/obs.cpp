@@ -196,6 +196,16 @@ const char* trace_type_name(TraceType type) {
       return "fault_inject";
     case TraceType::kFaultHeal:
       return "fault_heal";
+    case TraceType::kPacketLost:
+      return "packet_lost";
+    case TraceType::kPacketReordered:
+      return "packet_reordered";
+    case TraceType::kRepairRoundStart:
+      return "repair_round_start";
+    case TraceType::kRepairRoundEnd:
+      return "repair_round_end";
+    case TraceType::kRetransmit:
+      return "retransmit";
   }
   return "unknown";
 }

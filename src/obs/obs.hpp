@@ -211,6 +211,13 @@ enum class TraceType : std::uint8_t {
   kTimerFire,
   kFaultInject,
   kFaultHeal,
+  // Lossy-link impairments and the reliable repair path. Appended only:
+  // the numeric values above are pinned by existing traces.
+  kPacketLost,       ///< impairment model dropped a copy on a link
+  kPacketReordered,  ///< impairment model delayed a copy (reorder window)
+  kRepairRoundStart, ///< reliable::Publisher NACK-count round begins
+  kRepairRoundEnd,   ///< round done: a = round, b = outstanding NACKs
+  kRetransmit,       ///< one block retransmitted (b: 1 = subcast)
 };
 
 [[nodiscard]] const char* trace_type_name(TraceType type);

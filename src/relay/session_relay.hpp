@@ -51,6 +51,11 @@ class SessionRelay {
 
   [[nodiscard]] const ip::ChannelId& channel() const { return channel_; }
 
+  /// The relay's host stack — lets session middleware compose with the
+  /// reliable layer (e.g. a reliable::Publisher sourcing the session
+  /// channel through the relay host).
+  [[nodiscard]] ExpressHost& host() { return host_; }
+
   /// Thin view over the registry slots (see DESIGN.md §11).
   [[nodiscard]] RelayStats stats() const {
     RelayStats s;

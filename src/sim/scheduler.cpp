@@ -240,6 +240,7 @@ std::uint64_t Scheduler::run_until(Time deadline) {
     EventRecord& rec = slab_[slot];
     now_ = rec.when;
     rec.live = false;
+    const std::uint32_t fired_generation = rec.generation;
     ++rec.generation;  // fired events no longer report pending()
     const std::uint64_t seq = rec.seq;
     // Move the closure out and recycle the slot *before* invoking: a
@@ -247,8 +248,16 @@ std::uint64_t Scheduler::run_until(Time deadline) {
     // very record, so steady state touches the allocator not at all.
     Action action = std::move(rec.action);
     release_slot(slot);
+    // Pin the firing identity so the action's own handle stays inert
+    // even across generation wraparound (see handle_pending).
+    const std::uint32_t prev_slot = firing_slot_;
+    const std::uint32_t prev_generation = firing_generation_;
+    firing_slot_ = slot;
+    firing_generation_ = fired_generation;
     scope_.emit(now_, obs::TraceType::kTimerFire, seq);
     action();
+    firing_slot_ = prev_slot;
+    firing_generation_ = prev_generation;
     executed_.inc();
     ++ran;
   }
@@ -263,12 +272,19 @@ bool Scheduler::step() {
   EventRecord& rec = slab_[slot];
   now_ = rec.when;
   rec.live = false;
+  const std::uint32_t fired_generation = rec.generation;
   ++rec.generation;
   const std::uint64_t seq = rec.seq;
   Action action = std::move(rec.action);
   release_slot(slot);
+  const std::uint32_t prev_slot = firing_slot_;
+  const std::uint32_t prev_generation = firing_generation_;
+  firing_slot_ = slot;
+  firing_generation_ = fired_generation;
   scope_.emit(now_, obs::TraceType::kTimerFire, seq);
   action();
+  firing_slot_ = prev_slot;
+  firing_generation_ = prev_generation;
   executed_.inc();
   return true;
 }

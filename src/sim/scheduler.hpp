@@ -74,7 +74,11 @@ struct SchedulerStats {
 /// Cancellation is lazy: the event stays queued but is skipped when its
 /// heap entry is popped. Handles are small value types; copies refer to
 /// the same event, and a handle to a fired/cancelled (and possibly
-/// recycled) event is inert: pending() is false, cancel() a no-op.
+/// recycled) event is inert: pending() is false, cancel() a no-op. The
+/// guarantee extends to the event currently dispatching: an action that
+/// cancels its own handle (directly or through a helper that flushes
+/// "pending" state) touches nothing, no matter how many times the slot
+/// has been recycled meanwhile.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -227,6 +231,12 @@ class Scheduler {
 
   [[nodiscard]] bool handle_pending(std::uint32_t slot,
                                     std::uint32_t generation) const {
+    // The event currently being dispatched is never pending, and
+    // cancelling it is a guaranteed no-op. Without this guard a handler
+    // that holds its own handle (ecmp::Batcher's timer flush) could —
+    // after enough slot recycling to wrap the 32-bit generation — cancel
+    // an unrelated event that reused its slot while the action runs.
+    if (slot == firing_slot_ && generation == firing_generation_) return false;
     return slot < slab_.size() && slab_[slot].generation == generation &&
            slab_[slot].live;
   }
@@ -284,6 +294,13 @@ class Scheduler {
 
   Time now_{0};
   std::uint64_t next_seq_ = 0;
+  /// Identity of the event whose action is running right now (kNilSlot
+  /// when none): its stale handle must stay inert for the whole dispatch
+  /// even if the slot is recycled and its generation wraps. Saved and
+  /// restored around each dispatch so re-entrant step()/run_until()
+  /// calls from inside an action keep the guard of their caller.
+  std::uint32_t firing_slot_ = kNilSlot;
+  std::uint32_t firing_generation_ = 0;
   /// Monotone counters live in the observability registry; the handles
   /// below are one-pointer-indirect slots registered contiguously at
   /// construction (see DESIGN.md §11).

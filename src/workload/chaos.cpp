@@ -123,6 +123,10 @@ ChaosReport run_chaos_campaign(net::Network& network,
   ChaosReport report;
   sim::Scheduler& scheduler = network.scheduler();
 
+  if (config.link_impairments) {
+    network.set_default_impairments(*config.link_impairments);
+  }
+
   for (std::size_t i = 0; i < schedule.size(); ++i) {
     const Fault& fault = schedule[i];
     FaultOutcome outcome;

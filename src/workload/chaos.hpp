@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "net/impairment.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/random.hpp"
@@ -68,6 +70,11 @@ struct ChaosConfig {
   /// Settle budget after each heal: if the network has not quiesced
   /// within this, the fault is recorded as unconverged.
   sim::Duration settle_cap = sim::seconds(30);
+  /// Optional per-link impairments applied to every link at campaign
+  /// start (loss-enabled fault campaigns): the protocol must converge
+  /// through faults *and* a lossy data plane at once. std::nullopt
+  /// leaves the network's impairment configuration untouched.
+  std::optional<net::ImpairmentConfig> link_impairments;
 };
 
 struct FaultOutcome {

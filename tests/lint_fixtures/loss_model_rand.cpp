@@ -1,0 +1,23 @@
+// Lint fixture: MUST trip `banned-construct` three ways — a loss model
+// rolling drops with libc rand(), a std <random> engine, and a
+// std distribution. Impairment randomness must come from the seeded
+// sim::Rng the network owns (net::Network::seed_impairments), never
+// from generators with hidden process-global or default-seeded state.
+// Never compiled; consumed by `scripts/lint.sh --self-test`.
+#include <cstdlib>
+#include <random>
+
+struct LossyLink {
+  double p = 0.01;
+  std::mt19937 engine;  // default-seeded engine: replay diverges
+
+  bool drop_bernoulli() {
+    // libc randomness: not owned by the scenario, breaks replay.
+    return (rand() % 100) < static_cast<int>(p * 100);
+  }
+
+  bool drop_distribution() {
+    std::bernoulli_distribution roll(p);  // hidden state, unseeded
+    return roll(engine);
+  }
+};

@@ -146,6 +146,48 @@ TEST(Chaos, SmokeCampaignConvergesWithZeroViolations) {
   }
 }
 
+// Satellite: the same campaign with every link lossy. The protocol must
+// converge through faults *and* a Bernoulli-impaired data plane at
+// once — control is TCP-modeled (data_only), so invariants stay clean
+// while the dropped data packets prove the dice actually rolled.
+TEST(Chaos, LossEnabledCampaignStaysCleanAndConverges) {
+  ChaosBed bed;
+  FaultPlanConfig plan;
+  plan.fault_count = 6;
+  sim::Rng fault_rng(41);
+  const auto schedule = workload::make_fault_schedule(
+      bed.sim.net().topology(), plan, fault_rng);
+  ASSERT_EQ(schedule.size(), 6u);
+
+  ChaosConfig chaos;
+  net::ImpairmentConfig lossy;
+  lossy.loss.kind = net::LossModel::Kind::kBernoulli;
+  lossy.loss.p = 0.02;
+  chaos.link_impairments = lossy;
+  bed.sim.net().seed_impairments(0xC4A05);
+
+  sim::Rng churn_rng(43);
+  auto churn = bed.churn_fn(churn_rng);
+  std::uint64_t seq = 0;
+  auto churn_and_data = [&](std::size_t fault) {
+    churn(fault);
+    // Data flows into each fault: the packets fan out across the tree,
+    // so the campaign exercises the loss model, not just control churn.
+    for (int k = 0; k < 20; ++k) {
+      bed.sim.net().scheduler().schedule_at(
+          bed.sim.net().now() + sim::milliseconds(50 * (k + 1)),
+          [&bed, &seq] { bed.sim.source().send(bed.ch, 300, ++seq); });
+    }
+  };
+  const ChaosReport report = workload::run_chaos_campaign(
+      bed.sim.net(), schedule, chaos, bed.audit_fn(), churn_and_data);
+
+  EXPECT_EQ(report.faults_injected, 6u);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.unconverged, 0u);
+  EXPECT_GT(bed.sim.net().stats().packets_dropped_loss, 0u);
+}
+
 /// The on-tree core link a flap should target: `child`'s upstream is
 /// `parent` for the channel, and both ends are routers.
 std::optional<net::LinkId> on_tree_core_link(ExpressNetwork& sim,

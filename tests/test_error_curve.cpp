@@ -94,6 +94,27 @@ TEST(RelativeError, SymmetricAroundAdvertised) {
   EXPECT_DOUBLE_EQ(relative_error(100, 80), relative_error(100, 120));
 }
 
+TEST(RelativeError, BoundaryAndSignPinning) {
+  // Pin the §4.1 curve's edges: the repair-round convergence report in
+  // bench_reliable feeds round-over-round NACK totals straight through
+  // this function, so the boundary behavior is load-bearing there too.
+  // advertised == current short-circuits before the zero test:
+  EXPECT_DOUBLE_EQ(relative_error(0, 0), 0.0);
+  // Any transition *from* zero is unbounded (the parent thought the
+  // subtree was empty), independent of sign or magnitude:
+  EXPECT_TRUE(std::isinf(relative_error(0, 1)));
+  EXPECT_TRUE(std::isinf(relative_error(0, -1)));
+  EXPECT_GT(relative_error(0, 5), 0.0);  // +inf compares greater
+  // Negative counts (aggregates can go negative transiently during
+  // reannounce races) measure drift by absolute values:
+  EXPECT_DOUBLE_EQ(relative_error(-4, -2), 0.5);
+  EXPECT_DOUBLE_EQ(relative_error(-4, -4), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(4, -4), 2.0);
+  EXPECT_DOUBLE_EQ(relative_error(-4, 4), 2.0);
+  // Sign-flip symmetry: |current - advertised| sees the full swing.
+  EXPECT_DOUBLE_EQ(relative_error(10, -10), relative_error(-10, 10));
+}
+
 TEST(ProactiveState, ShrinkingCountNoLongerOverTriggers) {
   // The over-trigger scenario pinned end-to-end: a 100 -> 78 drop is
   // 22% drift, but the old denominator read it as 22/78 ~ 28.2%. At

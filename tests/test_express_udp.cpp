@@ -85,6 +85,46 @@ TEST_F(UdpModeTest, NoReportSuppression) {
   EXPECT_EQ(sim_.router(1).subtree_count(channel_), 2);
 }
 
+TEST_F(UdpModeTest, RefreshClockRunsDryAfterSilentExpiry) {
+  // Regression: the periodic refresh used to re-arm unconditionally,
+  // querying dead neighbors forever. Once the silent host's soft state
+  // expires and the branch prunes, the refresh clock must run dry —
+  // zero post-death refresh sends.
+  sim_.receiver(0).new_subscription(channel_);
+  sim_.run_for(sim::seconds(1));
+  ASSERT_TRUE(sim_.router(1).on_tree(channel_));
+  ASSERT_TRUE(sim_.router(1).udp_refresh_active());
+
+  sim_.receiver(0).set_silent(true);
+  sim_.run_for(sim::seconds(20));  // expiry (robustness x interval) + prune
+  ASSERT_FALSE(sim_.router(1).on_tree(channel_));
+  EXPECT_FALSE(sim_.router(1).udp_refresh_active());
+
+  const auto queries_after_death = sim_.router(1).stats().queries_sent;
+  sim_.run_for(sim::seconds(20));
+  EXPECT_EQ(sim_.router(1).stats().queries_sent, queries_after_death);
+}
+
+TEST_F(UdpModeTest, RefreshClockRunsDryAfterExplicitLeave) {
+  sim_.receiver(0).new_subscription(channel_);
+  sim_.run_for(sim::seconds(1));
+  ASSERT_TRUE(sim_.router(1).udp_refresh_active());
+
+  sim_.receiver(0).delete_subscription(channel_);
+  sim_.run_for(sim::seconds(5));  // leave re-query resolves, state drains
+  EXPECT_FALSE(sim_.router(1).on_tree(channel_));
+  EXPECT_FALSE(sim_.router(1).udp_refresh_active());
+
+  const auto queries_after_leave = sim_.router(1).stats().queries_sent;
+  sim_.run_for(sim::seconds(20));
+  EXPECT_EQ(sim_.router(1).stats().queries_sent, queries_after_leave);
+
+  // A fresh join re-arms the clock.
+  sim_.receiver(0).new_subscription(channel_);
+  sim_.run_for(sim::seconds(1));
+  EXPECT_TRUE(sim_.router(1).udp_refresh_active());
+}
+
 TEST_F(UdpModeTest, TcpInterfacesAreUnaffected) {
   // receiver(1) hangs off router(2); its router-facing side and the
   // core stay in (default) TCP mode: no periodic per-channel queries

@@ -2,7 +2,10 @@
 // per-link accounting, unicast transit, drop counters.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "express/testbed.hpp"
+#include "net/impairment.hpp"
 #include "net/network.hpp"
 
 namespace express::net {
@@ -274,6 +277,146 @@ TEST(Network, WireSizeIncludesEncapsulation) {
   outer.protocol = ip::Protocol::kIpInIp;
   outer.inner = std::make_shared<Packet>(inner);
   EXPECT_EQ(outer.wire_size(), 20u + inner_size);
+}
+
+// ---------------------------------------------------------------------
+// Link impairment model
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Two routers, one 1 ms / 1 Gb/s link, `count` UDP data packets a->b.
+struct ImpairRig {
+  explicit ImpairRig() {
+    Topology topo;
+    a = topo.add_router();
+    b = topo.add_router();
+    link = topo.add_link(a, b, sim::milliseconds(1), 1, 1e9);
+    network = std::make_unique<Network>(std::move(topo));
+    recorder = &network->attach<Recorder>(b);
+  }
+  void send(std::uint32_t count) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      network->send_to_neighbor(a, b,
+                                data_packet(ip::Address(1, 1, 1, 1),
+                                            ip::Address(2, 2, 2, 2), 500, i));
+    }
+    network->run();
+  }
+  NodeId a, b;
+  LinkId link;
+  std::unique_ptr<Network> network;
+  Recorder* recorder = nullptr;
+};
+
+ImpairmentConfig bernoulli(double p) {
+  ImpairmentConfig config;
+  config.loss.kind = LossModel::Kind::kBernoulli;
+  config.loss.p = p;
+  return config;
+}
+
+}  // namespace
+
+TEST(Network, DisarmedImpairmentsLeaveTrafficUntouched) {
+  // Seeding alone must not arm anything: zero random draws, identical
+  // counters to a network that never heard of impairments (pinned
+  // traces depend on this).
+  ImpairRig plain;
+  plain.send(50);
+  ImpairRig seeded;
+  seeded.network->seed_impairments(123);
+  seeded.send(50);
+  EXPECT_EQ(seeded.recorder->arrivals.size(), plain.recorder->arrivals.size());
+  EXPECT_EQ(seeded.network->stats().bytes_sent, plain.network->stats().bytes_sent);
+  EXPECT_EQ(seeded.network->stats().packets_dropped_loss, 0u);
+  EXPECT_EQ(seeded.network->stats().packets_reordered, 0u);
+}
+
+TEST(Network, BernoulliLossIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    ImpairRig rig;
+    rig.network->set_link_impairments(rig.link, bernoulli(0.3));
+    rig.network->seed_impairments(seed);
+    rig.send(200);
+    return std::pair(rig.network->stats().packets_dropped_loss,
+                     rig.recorder->arrivals.size());
+  };
+  const auto first = run(7);
+  EXPECT_GT(first.first, 0u);
+  EXPECT_EQ(first.first + first.second, 200u);  // every packet lands or drops
+  EXPECT_EQ(run(7), first);  // same seed => identical loss pattern
+}
+
+TEST(Network, LostPacketsStillConsumeWireTime) {
+  // Loss happens after the FIFO slot is reserved: a surviving packet
+  // arrives at exactly the time it would have in a lossless run, so
+  // arming loss cannot perturb the timing of what does get through.
+  ImpairRig clean;
+  clean.send(40);
+  ImpairRig lossy;
+  lossy.network->set_link_impairments(lossy.link, bernoulli(0.5));
+  lossy.network->seed_impairments(99);
+  lossy.send(40);
+  ASSERT_GT(lossy.recorder->arrivals.size(), 0u);
+  ASSERT_LT(lossy.recorder->arrivals.size(), 40u);
+  for (const auto& arrival : lossy.recorder->arrivals) {
+    EXPECT_EQ(arrival.at, clean.recorder->arrivals.at(arrival.sequence).at);
+  }
+}
+
+TEST(Network, GilbertBurstLossDropsAndStaysDeterministic) {
+  auto run = [] {
+    ImpairRig rig;
+    ImpairmentConfig config;
+    config.loss.kind = LossModel::Kind::kGilbert;
+    config.loss.gilbert_enter_bad = 0.2;
+    config.loss.gilbert_exit_bad = 0.3;
+    config.loss.gilbert_loss_bad = 1.0;
+    rig.network->set_link_impairments(rig.link, config);
+    rig.network->seed_impairments(5);
+    rig.send(300);
+    return rig.network->stats().packets_dropped_loss;
+  };
+  const std::uint64_t losses = run();
+  EXPECT_GT(losses, 0u);
+  EXPECT_EQ(run(), losses);
+}
+
+TEST(Network, ReorderDelaysByTheConfiguredWindow) {
+  ImpairRig rig;
+  ImpairmentConfig config;
+  config.reorder_p = 1.0;  // every data packet takes the detour
+  config.reorder_window = sim::milliseconds(5);
+  rig.network->set_link_impairments(rig.link, config);
+  rig.network->seed_impairments(11);
+  ImpairRig clean;
+  clean.send(10);
+  rig.send(10);
+  ASSERT_EQ(rig.recorder->arrivals.size(), 10u);
+  EXPECT_EQ(rig.network->stats().packets_reordered, 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rig.recorder->arrivals[i].at,
+              clean.recorder->arrivals[i].at + sim::milliseconds(5));
+  }
+}
+
+TEST(Network, DataOnlyImpairmentsSpareControlTraffic) {
+  // data_only (the default) models §3.2: ECMP control runs over
+  // TCP-mode connections, so the loss dice only touch channel data.
+  ImpairRig rig;
+  rig.network->set_link_impairments(rig.link, bernoulli(1.0));
+  rig.network->seed_impairments(3);
+  Packet control;
+  control.src = ip::Address(1, 1, 1, 1);
+  control.dst = ip::Address(2, 2, 2, 2);
+  control.protocol = ip::Protocol::kEcmp;
+  control.sequence = 77;
+  rig.network->send_to_neighbor(rig.a, rig.b, control);
+  rig.send(5);  // all five UDP data packets die
+  ASSERT_EQ(rig.recorder->arrivals.size(), 1u);
+  EXPECT_EQ(rig.recorder->arrivals[0].sequence, 77u);
+  EXPECT_EQ(rig.network->stats().packets_dropped_loss, 5u);
 }
 
 }  // namespace

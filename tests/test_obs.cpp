@@ -118,6 +118,42 @@ TEST(ObsTrace, RingOverwritesOldestButIndexKeepsGrowing) {
   EXPECT_EQ(trace.at(3).index, 5u);  // newest
 }
 
+TEST(ObsTrace, FilteredExportAfterWraparoundDropsExactlyTheOverwrittenPrefix) {
+  // Pin the wraparound arithmetic the repair-path analysis leans on:
+  // after the ring wraps, at(i) walks oldest-to-newest with strictly
+  // monotone global indices, and a filtered export sees exactly the
+  // retained suffix — no resurrected overwritten records, no holes.
+  obs::Trace trace;
+  trace.enable(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    // Alternate type and entity so the filters have something to split.
+    trace.emit(sim::Time{} + sim::milliseconds(i),
+               obs::Entity::router(static_cast<std::uint32_t>(i % 2)),
+               i % 2 == 0 ? obs::TraceType::kPacketSent
+                          : obs::TraceType::kRetransmit,
+               i);
+  }
+  EXPECT_EQ(trace.next_index(), 20u);
+  ASSERT_EQ(trace.size(), 8u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.at(i).index, 12u + i);  // records 0..11 overwritten
+    EXPECT_EQ(trace.at(i).a, 12u + i);      // payload moved with the index
+  }
+  obs::TraceFilter retransmits;
+  retransmits.type = obs::TraceType::kRetransmit;
+  // Retained indices 12..19 hold four odd (kRetransmit) records.
+  EXPECT_EQ(trace.count(retransmits), 4u);
+  const std::string jsonl = trace.to_jsonl(retransmits);
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, 4u);
+  EXPECT_EQ(jsonl.find("\"index\":11"), std::string::npos);  // overwritten
+  EXPECT_NE(jsonl.find("\"index\":13"), std::string::npos);  // oldest odd kept
+  EXPECT_NE(jsonl.find("\"index\":19"), std::string::npos);  // newest
+  // Export order is oldest first even across the wrap seam.
+  EXPECT_LT(jsonl.find("\"index\":13"), jsonl.find("\"index\":19"));
+}
+
 TEST(ObsTrace, FilterByEntityAndType) {
   obs::Trace trace;
   trace.enable(16);

@@ -271,6 +271,56 @@ TEST(Scheduler, EventsScheduledDuringRunAreExecuted) {
   EXPECT_EQ(s.now(), seconds(99));
 }
 
+TEST(Scheduler, CancellingTheInFlightEventIsANoOp) {
+  // The ecmp::Batcher pattern: a timer action that flushes state and, in
+  // doing so, cancels its *own* handle. Dispatch recycles the slot
+  // before the action runs, so the stranger scheduled inside the action
+  // reuses it — the self-cancel must never reach that stranger.
+  Scheduler s;
+  bool pending_during_fire = false;
+  bool stranger_fired = false;
+  EventHandle self;
+  self = s.schedule_at(Time{10}, [&] {
+    s.schedule_at(Time{20}, [&stranger_fired] { stranger_fired = true; });
+    pending_during_fire = self.pending();
+    self.cancel();
+  });
+  s.run();
+  EXPECT_FALSE(pending_during_fire);  // in-flight event is not pending
+  EXPECT_TRUE(stranger_fired);
+  EXPECT_EQ(s.stats().cancelled, 0u);
+}
+
+TEST(Scheduler, SelfCancelStaysInertUnderHeavySlotRecycling) {
+  // Regression stress for the firing-identity guard: a long chain of
+  // self-rescheduling timers, each firing cancels its own handle after
+  // scheduling a stranger that recycles the just-freed slot. No round
+  // may observe itself pending, cancel a stranger, or bump the
+  // cancelled counter.
+  Scheduler s;
+  constexpr int kRounds = 5000;
+  int rounds = 0;
+  int strangers = 0;
+  int pending_seen = 0;
+  EventHandle self;
+  std::function<void()> round = [&] {
+    ++rounds;
+    s.schedule_after(Duration{1}, [&strangers] { ++strangers; });
+    if (self.pending()) ++pending_seen;
+    self.cancel();
+    if (rounds < kRounds) {
+      self = s.schedule_after(Duration{2}, [&] { round(); });
+    }
+  };
+  self = s.schedule_at(Time{1}, [&] { round(); });
+  s.run();
+  EXPECT_EQ(rounds, kRounds);
+  EXPECT_EQ(strangers, kRounds);
+  EXPECT_EQ(pending_seen, 0);
+  EXPECT_EQ(s.stats().cancelled, 0u);
+  EXPECT_EQ(s.stats().executed, static_cast<std::uint64_t>(2 * kRounds));
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a(42), b(42);
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());

@@ -91,13 +91,41 @@ TEST(Transport, UdpModeStartsTheRefreshClock) {
   policy.udp_query_interval = sim::milliseconds(100);
   int rounds = 0;
   TransportHooks hooks;
-  hooks.udp_refresh_round = [&]() { ++rounds; };
+  hooks.udp_refresh_round = [&]() {
+    ++rounds;
+    return true;  // soft state remains: keep the clock running
+  };
   Pair pair(policy, std::move(hooks));
 
   pair.a->transport.set_mode(0, Mode::kUdp);
   EXPECT_EQ(pair.a->transport.mode(0), Mode::kUdp);
   pair.network->run_until(sim::milliseconds(350));
   EXPECT_EQ(rounds, 3);
+  EXPECT_TRUE(pair.a->transport.udp_refresh_active());
+}
+
+TEST(Transport, UdpRefreshClockStopsWhenARoundRunsDry) {
+  // Regression: the clock used to re-arm unconditionally, querying dead
+  // neighbors forever. A round reporting no remaining UDP soft state
+  // (return false) must stop the clock until ensure_udp_refresh().
+  TransportPolicy policy;
+  policy.udp_query_interval = sim::milliseconds(100);
+  int rounds = 0;
+  TransportHooks hooks;
+  hooks.udp_refresh_round = [&]() { return ++rounds < 2; };
+  Pair pair(policy, std::move(hooks));
+
+  pair.a->transport.set_mode(0, Mode::kUdp);
+  pair.network->run_until(sim::milliseconds(1000));
+  EXPECT_EQ(rounds, 2);  // ran dry on the second tick, never re-armed
+  EXPECT_FALSE(pair.a->transport.udp_refresh_active());
+
+  // New UDP soft state re-arms the clock (subscription layer hook).
+  pair.a->transport.ensure_udp_refresh();
+  EXPECT_TRUE(pair.a->transport.udp_refresh_active());
+  pair.network->run_until(sim::milliseconds(1400));
+  EXPECT_EQ(rounds, 3);  // one more tick, dry again
+  EXPECT_FALSE(pair.a->transport.udp_refresh_active());
 }
 
 TEST(Transport, BatchWindowCoalescesMessagesIntoOneSegment) {
