@@ -4,7 +4,7 @@
 // coalescing window: same protocol outcome, far fewer packets and
 // header bytes on the wire.
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 namespace {
 

@@ -7,7 +7,7 @@
 #include <map>
 
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "workload/churn.hpp"
 
 namespace {

@@ -7,7 +7,7 @@
 // routers with few neighbors and many channels, UDP for edge routers")
 // falls straight out of the measurement.
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 namespace {
 

@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "relay/participant.hpp"
 #include "relay/session_relay.hpp"
 

@@ -14,7 +14,7 @@
 #include "baseline/group_host.hpp"
 #include "baseline/pim_sm.hpp"
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 namespace {
 

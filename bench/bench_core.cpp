@@ -39,7 +39,7 @@
 
 #include "common.hpp"
 #include "express/fib.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "legacy_core.hpp"
 #include "obs/obs.hpp"
 #include "sim/random.hpp"

@@ -9,7 +9,7 @@
 #include "baseline/dvmrp.hpp"
 #include "baseline/group_host.hpp"
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 namespace {
 

@@ -6,7 +6,7 @@
 // local allocation: two hosts picking the same channel index still name
 // distinct channels.
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "ip/address.hpp"
 
 int main() {

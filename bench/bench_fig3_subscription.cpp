@@ -6,7 +6,7 @@
 // and report how far each join travelled and how long the subscription
 // took to become live (join latency to first delivered packet).
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 int main() {
   using namespace express;

@@ -5,7 +5,7 @@
 // check the paper's §4.5 bound: relayed delay <= 2x the distance from
 // the most distant subscriber to the SR (symmetric paths).
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "relay/participant.hpp"
 #include "relay/session_relay.hpp"
 

@@ -2,7 +2,7 @@
 // cross-checked against FIB state measured in simulation.
 #include "common.hpp"
 #include "costmodel/fib_cost.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 int main() {
   using namespace express;

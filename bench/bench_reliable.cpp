@@ -35,7 +35,7 @@
 
 #include "common.hpp"
 #include "counting/error_curve.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "net/impairment.hpp"
 #include "reliable/publisher.hpp"
 #include "sim/random.hpp"

@@ -6,7 +6,7 @@
 // model and cross-check the simulated routers' actual management state.
 #include "common.hpp"
 #include "costmodel/mgmt_cost.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 int main() {
   using namespace express;

@@ -7,7 +7,7 @@
 // paper's argument that "the cost per channel is low and the overall
 // cost ... is relatively modest and growing linearly".
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 int main() {
   using namespace express;

@@ -11,7 +11,7 @@
 
 #include "common.hpp"
 #include "costmodel/counting_cost.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "workload/churn.hpp"
 
 namespace {

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "obs/obs.hpp"
 #include "workload/churn.hpp"
 #include "workload/topo_gen.hpp"

@@ -20,7 +20,7 @@
 #include "audit/invariants.hpp"
 #include "obs/obs.hpp"
 #include "common.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "workload/chaos.hpp"
 #include "workload/churn.hpp"
 #include "workload/topo_gen.hpp"

@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "relay/participant.hpp"
 #include "relay/session_relay.hpp"
 #include "relay/standby.hpp"

@@ -18,7 +18,7 @@
 #include <set>
 #include <vector>
 
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 namespace {
 

@@ -12,7 +12,7 @@
 // Build & run:  ./build/examples/internet_tv
 #include <cstdio>
 
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 int main() {
   using namespace express;

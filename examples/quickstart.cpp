@@ -9,7 +9,7 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 int main() {
   using namespace express;

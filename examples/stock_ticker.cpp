@@ -13,7 +13,7 @@
 
 #include "costmodel/fib_cost.hpp"
 #include "costmodel/mgmt_cost.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "workload/churn.hpp"
 
 int main() {

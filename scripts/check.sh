@@ -17,6 +17,9 @@ on_fail() {
   echo "check.sh: FAILED. If the failure is a -Werror=unused-result or" >&2
   echo "ordering issue, run the static gate for a faster diagnosis:" >&2
   echo "    scripts/lint.sh        (also the CI 'lint' job)" >&2
+  echo "For layering, timer-lifecycle, or wire-coverage errors the" >&2
+  echo "architecture linter names the exact edge/field:" >&2
+  echo "    scripts/lint/archlint.py --root .   (layer DAG in scripts/lint/layers.toml)" >&2
   echo "If an Obs* determinism test or obs_golden failed, pinpoint the" >&2
   echo "first divergent event with the trace differ:" >&2
   echo "    scripts/obs_golden.sh  (also the CI 'obs' job)" >&2

@@ -5,25 +5,70 @@
 # Layers, in order:
 #   1. detlint        custom determinism/protocol lints (pure Python,
 #                     always run — no toolchain dependency)
-#   2. format check   clang-format diff-gate, or whitespace fallback
-#   3. clang-tidy     .clang-tidy profile, only when installed
-#   4. cppcheck       with scripts/lint/cppcheck-suppressions.txt,
+#   2. archlint       architecture/lifecycle/wire-coverage lints
+#                     (layer DAG in scripts/lint/layers.toml)
+#   3. format check   clang-format diff-gate, or whitespace fallback
+#   4. clang-tidy     .clang-tidy profile, only when installed
+#   5. cppcheck       with scripts/lint/cppcheck-suppressions.txt,
 #                     only when installed
 #
 # The container image does not ship the clang tools; CI installs them.
 # Skipping an uninstalled tool is reported but is not a failure —
-# detlint and the format gate always run and always gate.
+# detlint, archlint and the format gate always run and always gate.
 #
 # Usage:
 #   scripts/lint.sh               full gate
-#   scripts/lint.sh --self-test   run detlint against tests/lint_fixtures/
+#   scripts/lint.sh --changed     fast pre-commit mode: detlint +
+#                                 archlint on files touched per git
+#                                 (staged, unstaged and untracked);
+#                                 skips the format/tidy/cppcheck layers
+#   scripts/lint.sh --self-test   cpp_scan unit tests + detlint and
+#                                 archlint fixture suites
 set -uo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 if [[ "${1:-}" == "--self-test" ]]; then
-  exec python3 "$repo_root/scripts/lint/detlint.py" --self-test \
-    --root "$repo_root"
+  fail=0
+  echo "== cpp_scan unit tests =="
+  python3 "$repo_root/scripts/lint/test_cpp_scan.py" || fail=1
+  echo "== detlint fixtures =="
+  python3 "$repo_root/scripts/lint/detlint.py" --self-test \
+    --root "$repo_root" || fail=1
+  echo "== archlint fixtures =="
+  python3 "$repo_root/scripts/lint/archlint.py" --self-test \
+    --root "$repo_root" || fail=1
+  exit "$fail"
+fi
+
+if [[ "${1:-}" == "--changed" ]]; then
+  # Files git considers modified (staged + unstaged + untracked),
+  # restricted to C++ sources under src/. Archlint still scans the
+  # whole tree for cross-file context but reports only these files.
+  mapfile -t changed < <(
+    cd "$repo_root" && {
+      git diff --name-only HEAD --
+      git ls-files --others --exclude-standard
+    } | sort -u | grep -E '^src/.*\.(cpp|hpp|h|cc)$' || true
+  )
+  if [[ "${#changed[@]}" -eq 0 ]]; then
+    echo "lint.sh --changed: no modified C++ sources under src/"
+    exit 0
+  fi
+  printf 'lint.sh --changed: %d file(s)\n' "${#changed[@]}"
+  abs=()
+  for f in "${changed[@]}"; do abs+=("$repo_root/$f"); done
+  fail=0
+  python3 "$repo_root/scripts/lint/detlint.py" --root "$repo_root" \
+    "${abs[@]}" || fail=1
+  python3 "$repo_root/scripts/lint/archlint.py" --root "$repo_root" \
+    "${abs[@]}" || fail=1
+  if [[ "$fail" -ne 0 ]]; then
+    echo "lint.sh --changed: FAILED — see findings above" >&2
+    exit 1
+  fi
+  echo "lint.sh --changed: clean"
+  exit 0
 fi
 
 fail=0
@@ -31,6 +76,13 @@ fail=0
 echo "== detlint (determinism & protocol-safety lints) =="
 if python3 "$repo_root/scripts/lint/detlint.py" --root "$repo_root"; then
   echo "detlint: clean"
+else
+  fail=1
+fi
+
+echo "== archlint (architecture, lifecycle & wire coverage) =="
+if python3 "$repo_root/scripts/lint/archlint.py" --root "$repo_root"; then
+  echo "archlint: clean"
 else
   fail=1
 fi
@@ -71,7 +123,8 @@ else
 fi
 
 if [[ "$fail" -ne 0 ]]; then
-  echo "lint.sh: FAILED — see findings above" >&2
+  echo "lint.sh: FAILED — see findings above (detlint/archlint live in" \
+    "scripts/lint/)" >&2
   exit 1
 fi
 echo "== lint.sh: all green =="

@@ -39,14 +39,16 @@ cpp_scan.py for the source model. Exit 0 = clean, 1 = findings,
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
-from dataclasses import dataclass
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import cpp_scan  # noqa: E402
-from cpp_scan import KNOWN_TAGS, SourceFile  # noqa: E402
+from cpp_scan import (  # noqa: E402
+    Finding, KNOWN_TAGS, SourceFile, sort_findings,
+)
 
 CONFIG = {
     # Directories scanned for loops / banned constructs (repo-relative).
@@ -124,17 +126,6 @@ POD_MEMBER_RE = re.compile(
     """,
     re.VERBOSE,
 )
-
-
-@dataclass
-class Finding:
-    check: str
-    path: str
-    line: int
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
 
 
 # --------------------------------------------------------------------------
@@ -223,6 +214,7 @@ def check_unordered_loops(sf: SourceFile, variables: set, accessors: set,
         if not mentions_unordered(range_expr, variables, accessors):
             continue
         line = sf.line_of(m.start())
+        col = sf.col_of(m.start())
         body = sf.code[close + 1 : cpp_scan.statement_end(sf.code, close + 1) + 1]
         if not EFFECT_RE.search(body):
             continue
@@ -232,7 +224,7 @@ def check_unordered_loops(sf: SourceFile, variables: set, accessors: set,
             continue
         findings.append(
             Finding(
-                "unordered-effectful-loop", sf.path, line,
+                "unordered-effectful-loop", sf.path, line, col,
                 f"iteration over unordered container `{range_expr}` has "
                 "order-dependent effects; iterate det::sorted_items/"
                 "sorted_keys, use std::map/set, or annotate "
@@ -297,6 +289,7 @@ def check_banned(sf: SourceFile, ban_clocks: bool, findings: list) -> None:
     for m in BANNED_RANDOM_RE.finditer(sf.code):
         findings.append(
             Finding("banned-construct", sf.path, sf.line_of(m.start()),
+                    sf.col_of(m.start()),
                     f"`{m.group(0).strip()}`: unseeded/libc randomness breaks "
                     "replay; use a seeded engine owned by the scenario")
         )
@@ -304,6 +297,7 @@ def check_banned(sf: SourceFile, ban_clocks: bool, findings: list) -> None:
         for m in BANNED_CLOCK_RE.finditer(sf.code):
             findings.append(
                 Finding("banned-construct", sf.path, sf.line_of(m.start()),
+                        sf.col_of(m.start()),
                         f"`{m.group(0).strip()}`: wall-clock reads in the "
                         "simulator core break replay; use sim::Scheduler time")
             )
@@ -314,6 +308,7 @@ def check_banned(sf: SourceFile, ban_clocks: bool, findings: list) -> None:
                 continue
             findings.append(
                 Finding("banned-construct", sf.path, line,
+                        sf.col_of(m.start()),
                         f"raw `{what}` outside the slab allocator; use the "
                         "slab/value semantics or annotate "
                         "`// lint: allow-new (<why>)`")
@@ -344,10 +339,11 @@ def check_message_pods(sf: SourceFile, findings: list) -> None:
                 continue
             if "(" in text.split(";")[0] and "[" not in text:
                 continue  # function declaration
+            name_off = base_off + off + pm.start("name")
             findings.append(
                 Finding(
                     "uninitialized-message-pod", sf.path,
-                    sf.line_of(base_off + off),
+                    sf.line_of(name_off), sf.col_of(name_off),
                     f"member `{pm.group('name')}` of message struct "
                     f"`{sm.group(1)}` has no default initializer "
                     "(uninitialized wire bytes are nondeterministic)",
@@ -398,6 +394,7 @@ def check_discarded_effects(sf: SourceFile, findings: list) -> None:
             continue  # chained: result is consumed
         findings.append(
             Finding("discarded-effect", sf.path, sf.line_of(m.start()),
+                    sf.col_of(m.start()),
                     f"result of `{m.group(1)}()` discarded; protocol-effect "
                     "values must be consumed ([[nodiscard]] enforces this in "
                     "the build too)")
@@ -412,13 +409,13 @@ def check_suppressions(sf: SourceFile, findings: list) -> None:
     for s in sf.suppressions:
         if s.tag not in KNOWN_TAGS:
             findings.append(
-                Finding("bare-suppression", sf.path, s.line,
+                Finding("bare-suppression", sf.path, s.line, s.col,
                         f"unknown lint tag `{s.tag}` (known: "
                         f"{', '.join(KNOWN_TAGS)})")
             )
         elif not s.justified:
             findings.append(
-                Finding("bare-suppression", sf.path, s.line,
+                Finding("bare-suppression", sf.path, s.line, s.col,
                         f"`lint: {s.tag}` needs a (justification)")
             )
 
@@ -510,16 +507,19 @@ def run(root: str, paths=None) -> list:
 
     for sf in files:
         norm = os.path.normpath(os.path.abspath(sf.path))
-        ban_clocks = paths is not None or norm.startswith(clock_dirs)
+        # Fixtures opt into every check; explicit paths otherwise keep
+        # the same per-file rules as the sweep (lint.sh --changed must
+        # not apply message-struct rules to ordinary classes).
+        fixture = f"{os.sep}lint_fixtures{os.sep}" in norm
+        ban_clocks = fixture or norm.startswith(clock_dirs)
         check_unordered_loops(sf, variables, accessors, findings)
         check_banned(sf, ban_clocks, findings)
-        if paths is not None or norm in msg_files:
+        if fixture or norm in msg_files:
             check_message_pods(sf, findings)
         check_discarded_effects(sf, findings)
         check_suppressions(sf, findings)
 
-    findings.sort(key=lambda f: (f.path, f.line, f.check))
-    return findings
+    return sort_findings(findings)
 
 
 def main(argv=None) -> int:
@@ -529,6 +529,8 @@ def main(argv=None) -> int:
                     "default: sweep the configured source dirs")
     ap.add_argument("--root", default=None,
                     help="repo root (default: two levels above this script)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as a JSON array (for CI annotation)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the lints against tests/lint_fixtures/ and "
                     "assert each violation class is caught")
@@ -538,8 +540,11 @@ def main(argv=None) -> int:
     if args.self_test:
         return self_test(root)
     findings = run(root, args.paths or None)
-    for f in findings:
-        print(f.render())
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
     if findings:
         print(f"detlint: {len(findings)} finding(s)", file=sys.stderr)
         return 1

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Unit tests for the cpp_scan source model.
+
+Run directly (`python3 scripts/lint/test_cpp_scan.py`) or via
+`scripts/lint.sh --self-test`, which ctest wires in as lint_selftest.
+The raw-string and digit-separator cases are regression tests: the
+original stripper treated any `R` before a quote as a raw-string
+prefix and blanked the "char literal" between the quotes of 1'000'000.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import cpp_scan  # noqa: E402
+
+
+def strip(raw: str) -> str:
+    code, _ = cpp_scan.strip_code(raw)
+    return code
+
+
+def source(raw: str, path: str = "test.cpp") -> cpp_scan.SourceFile:
+    sf = cpp_scan.SourceFile(path=path, raw=raw)
+    sf.code, sf.suppressions = cpp_scan.strip_code(raw)
+    return sf
+
+
+class StripRawStrings(unittest.TestCase):
+    def test_plain_raw_string_blanked(self):
+        code = strip('auto s = R"(text "with" quotes)"; int x = 1;')
+        self.assertNotIn("with", code)
+        self.assertIn("int x = 1;", code)
+
+    def test_raw_string_with_delimiter(self):
+        code = strip('auto s = R"xx(close )" here)xx"; f();')
+        self.assertNotIn("close", code)
+        self.assertIn("f();", code)
+
+    def test_encoding_prefixes(self):
+        for prefix in ("LR", "uR", "UR", "u8R"):
+            code = strip(f'auto s = {prefix}"(payload body)"; g();')
+            self.assertNotIn("payload", code, prefix)
+            self.assertIn("g();", code, prefix)
+
+    def test_identifier_ending_in_r_is_not_raw(self):
+        # FACTOR is an identifier; the string after it is ordinary, so
+        # `)` inside it does NOT close anything special.
+        raw = 'auto s = FACTOR"(km)"; int after = 2;'
+        code = strip(raw)
+        self.assertIn("FACTOR", code)
+        self.assertIn("int after = 2;", code)
+        # Ordinary string: content blanked, quotes kept.
+        self.assertNotIn("(km)", code)
+
+    def test_offsets_preserved(self):
+        raw = 'R"(ab\ncd)"\nint z;'
+        code = strip(raw)
+        self.assertEqual(len(code), len(raw))
+        self.assertEqual(code.count("\n"), raw.count("\n"))
+        self.assertIn("int z;", code)
+
+
+class StripDigitSeparators(unittest.TestCase):
+    def test_separator_not_treated_as_char_literal(self):
+        raw = "f(1'000, 2'000);"
+        self.assertEqual(strip(raw), raw)  # nothing to blank
+
+    def test_hex_separator(self):
+        raw = "const std::uint32_t m = 0xFF'FF'00'00;"
+        self.assertEqual(strip(raw), raw)
+
+    def test_million(self):
+        raw = "constexpr long kBudget = 1'000'000; send(kBudget);"
+        self.assertEqual(strip(raw), raw)
+
+    def test_char_literal_still_blanked(self):
+        code = strip("char c = 'x'; int y = 3;")
+        self.assertNotIn("'x'", code)
+        self.assertIn("int y = 3;", code)
+
+    def test_escaped_quote_char_literal(self):
+        code = strip("char q = '\\''; done();")
+        self.assertIn("done();", code)
+
+    def test_wide_char_prefix_is_char_literal(self):
+        code = strip("wchar_t w = L'a'; tail();")
+        self.assertNotIn("L'a'", code)
+        self.assertIn("tail();", code)
+
+
+class Includes(unittest.TestCase):
+    def test_targets_survive_blanking(self):
+        sf = source('#include "net/packet.hpp"\n#include <vector>\n'
+                    '// #include "line/commented.hpp"\n'
+                    '/*\n#include "block/commented.hpp"\n*/\n')
+        incs = cpp_scan.includes(sf)
+        self.assertEqual([(i.target, i.angled) for i in incs],
+                         [("net/packet.hpp", False), ("vector", True)])
+        self.assertEqual(incs[0].line, 1)
+        self.assertEqual(incs[1].line, 2)
+
+
+class Structure(unittest.TestCase):
+    SRC = """
+    namespace demo {
+
+    enum class Color : std::uint8_t { kRed = 1, kGreen, kBlue };
+
+    class Widget {
+     public:
+      Widget(int n) : n_(n), tag_{0} { init(); }
+      ~Widget() { teardown(); }
+      int area() const { return n_ * n_; }
+      void stop();
+      enum class State { kIdle, kBusy };
+     private:
+      void init();
+      int n_ = 0;
+      int tag_ = 0;
+    };
+
+    void Widget::stop() { n_ = 0; }
+
+    int free_helper(int a, int b) { return a + b; }
+    }  // namespace demo
+    """
+
+    def setUp(self):
+        self.sf = source(self.SRC)
+        self.fns, self.classes, self.enums = cpp_scan.scan_structure(self.sf)
+
+    def test_enums(self):
+        by_name = {e.name: e for e in self.enums}
+        self.assertEqual(by_name["Color"].enumerators,
+                         ["kRed", "kGreen", "kBlue"])
+        self.assertEqual(by_name["Color"].cls, "")
+        self.assertEqual(by_name["State"].enumerators, ["kIdle", "kBusy"])
+        self.assertEqual(by_name["State"].cls, "Widget")
+
+    def test_classes(self):
+        self.assertEqual([c.name for c in self.classes], ["Widget"])
+
+    def test_ctor_dtor_flags(self):
+        by_name = {(f.cls, f.name): f for f in self.fns}
+        self.assertTrue(by_name[("Widget", "Widget")].is_ctor)
+        self.assertTrue(by_name[("Widget", "~Widget")].is_dtor)
+        self.assertFalse(by_name[("Widget", "area")].is_ctor)
+
+    def test_out_of_line_qualifier(self):
+        stop = next(f for f in self.fns if f.name == "stop")
+        self.assertEqual(stop.qualifier, "Widget")
+        self.assertEqual(stop.cls, "Widget")
+
+    def test_free_function(self):
+        free = next(f for f in self.fns if f.name == "free_helper")
+        self.assertEqual(free.cls, "")
+        self.assertIn("a + b", self.sf.code[free.body_start:free.body_end])
+
+    def test_declarations_not_extents(self):
+        names = [f.name for f in self.fns]
+        # `void stop();` is a declaration — only the out-of-line
+        # definition yields an extent. `void init();` has no definition
+        # here, and the call inside the ctor body must not count.
+        self.assertEqual(names.count("stop"), 1)
+        self.assertNotIn("init", names)
+
+    def test_enclosing_function(self):
+        ctor = next(f for f in self.fns if f.is_ctor)
+        off = self.sf.code.find("init()")
+        self.assertIs(cpp_scan.enclosing_function(self.fns, off), ctor)
+
+    def test_ctor_extent_covers_init_list(self):
+        ctor = next(f for f in self.fns if f.is_ctor)
+        off = self.sf.code.find("tag_{0}")
+        self.assertTrue(ctor.contains(off))
+
+    def test_member_not_in_function(self):
+        off = self.sf.code.find("int n_ = 0")
+        self.assertIsNone(cpp_scan.enclosing_function(self.fns, off))
+        self.assertEqual(cpp_scan.in_class_body(self.classes, off).name,
+                         "Widget")
+
+
+class Suppressions(unittest.TestCase):
+    def test_tags_and_justification(self):
+        sf = source("// lint: fire-and-forget (self-terminating tick)\n"
+                    "// lint: partial-switch\n")
+        self.assertEqual(len(sf.suppressions), 2)
+        self.assertTrue(sf.suppressions[0].justified)
+        self.assertFalse(sf.suppressions[1].justified)
+        self.assertIn("fire-and-forget", cpp_scan.KNOWN_TAGS)
+        self.assertIn("drop-untraced", cpp_scan.KNOWN_TAGS)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=1)

@@ -61,6 +61,9 @@ void CbtRouter::join_toward_core(ip::Address group) {
 }
 
 void CbtRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
+  // CBT speaks only the IGMP/join/quit subset of the shared baseline
+  // MsgType vocabulary; PIM/DVMRP frames are ignorable noise.
+  // lint: partial-switch (CBT-relevant subset; rest intentionally ignored)
   switch (msg.type) {
     case MsgType::kMembershipReport:
       members_[msg.group].insert(in_iface);
@@ -111,6 +114,9 @@ void CbtRouter::inject(const net::Packet& packet, std::uint32_t except_iface) {
   auto it = trees_.find(packet.dst);
   if (it == trees_.end()) {
     stats_.drops.inc();
+    scope_.emit(network().now(), obs::TraceType::kPacketDropped,
+                static_cast<std::uint64_t>(obs::DropReason::kNoRoute),
+                packet.wire_size());
     return;
   }
   net::InterfaceSet set;
@@ -138,6 +144,9 @@ void CbtRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {
       network().topology().node(peer).kind == net::NodeKind::kHost;
   if (!from_attached_host) {
     stats_.drops.inc();
+    scope_.emit(network().now(), obs::TraceType::kPacketDropped,
+                static_cast<std::uint64_t>(obs::DropReason::kRpfFail),
+                packet.wire_size());
     return;
   }
   if (is_core()) {

@@ -16,6 +16,7 @@
 
 #include "baseline/wire.hpp"
 #include "express/forwarding.hpp"
+#include "ip/address.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "obs/obs.hpp"

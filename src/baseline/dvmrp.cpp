@@ -38,6 +38,9 @@ void DvmrpRouter::handle_packet(const net::Packet& packet,
 }
 
 void DvmrpRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
+  // DVMRP speaks only the IGMP/prune/graft subset of the shared
+  // baseline MsgType vocabulary; PIM/CBT frames are ignorable noise.
+  // lint: partial-switch (DVMRP-relevant subset; rest intentionally ignored)
   switch (msg.type) {
     case MsgType::kMembershipReport: {
       members_[msg.group].insert(in_iface);
@@ -105,6 +108,9 @@ void DvmrpRouter::forward_data(const net::Packet& packet,
   auto rpf = network().routing().rpf_interface(id(), *src_node);
   if (!rpf || *rpf != in_iface) {
     stats_.rpf_drops.inc();
+    scope_.emit(network().now(), obs::TraceType::kPacketDropped,
+                static_cast<std::uint64_t>(obs::DropReason::kRpfFail),
+                packet.wire_size());
     return;
   }
 

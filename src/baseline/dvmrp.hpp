@@ -20,6 +20,7 @@
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "obs/obs.hpp"
+#include "sim/time.hpp"
 
 namespace express::baseline {
 

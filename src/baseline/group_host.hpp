@@ -17,9 +17,12 @@
 #include <vector>
 
 #include "baseline/wire.hpp"
+#include "ip/address.hpp"
+#include "ip/header.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "obs/obs.hpp"
+#include "sim/time.hpp"
 
 namespace express::baseline {
 

@@ -155,7 +155,8 @@ void PimSmRouter::on_control(const Msg& msg, std::uint32_t in_iface) {
       register_stopped_.insert(ip::ChannelId{msg.source, msg.group});
       stats_.register_stops.inc();
       return;
-    default:
+    case MsgType::kGraft:
+      // DVMRP-only message; PIM-SM re-joins instead of grafting.
       return;
   }
 }
@@ -252,6 +253,9 @@ void PimSmRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {
     auto rpf = rpf_iface_toward(packet.src);
     if (!rpf || *rpf != in_iface) {
       stats_.drops.inc();
+      scope_.emit(network().now(), obs::TraceType::kPacketDropped,
+                  static_cast<std::uint64_t>(obs::DropReason::kRpfFail),
+                  packet.wire_size());
       return;
     }
     deliver(packet, inherited_oifs(sg), in_iface);
@@ -289,6 +293,9 @@ void PimSmRouter::on_data(const net::Packet& packet, std::uint32_t in_iface) {
     }
   }
   stats_.drops.inc();
+  scope_.emit(network().now(), obs::TraceType::kPacketDropped,
+              static_cast<std::uint64_t>(obs::DropReason::kNoRoute),
+              packet.wire_size());
 }
 
 void PimSmRouter::on_register(const net::Packet& packet) {

@@ -142,6 +142,7 @@ Mode Transport::mode(std::uint32_t iface) const {
 void Transport::schedule_udp_refresh() {
   if (udp_refresh_scheduled_) return;
   udp_refresh_scheduled_ = true;
+  // lint: fire-and-forget (self-rearming tick gated by udp_refresh_scheduled_; transport lives as long as its router)
   network_->scheduler().schedule_after(policy_.udp_query_interval,
                                        [this]() { udp_refresh_tick(); });
 }
@@ -156,6 +157,7 @@ void Transport::udp_refresh_tick() {
     udp_refresh_scheduled_ = false;
     return;
   }
+  // lint: fire-and-forget (self-rearming tick gated by udp_refresh_scheduled_; transport lives as long as its router)
   network_->scheduler().schedule_after(policy_.udp_query_interval,
                                        [this]() { udp_refresh_tick(); });
 }
@@ -172,6 +174,7 @@ void Transport::ensure_udp_refresh() {
 // ---------------------------------------------------------------------
 
 void Transport::schedule_neighbor_discovery() {
+  // lint: fire-and-forget (periodic neighbor-discovery tick; transport lives as long as its router)
   network_->scheduler().schedule_after(policy_.neighbor_query_interval,
                                        [this]() { neighbor_discovery_tick(); });
 }

@@ -35,8 +35,11 @@
 #include "ecmp/codec.hpp"
 #include "ecmp/messages.hpp"
 #include "ecmp/session.hpp"
+#include "ip/address.hpp"
 #include "net/adjacency.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
+#include "sim/time.hpp"
 
 namespace express::ecmp {
 

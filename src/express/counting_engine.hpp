@@ -27,6 +27,7 @@
 #include "ecmp/count_id.hpp"
 #include "ip/channel.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 #include "sim/scheduler.hpp"
 
 namespace express {

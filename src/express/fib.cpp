@@ -76,11 +76,13 @@ const net::InterfaceSet* FlatFib::lookup(const ip::ChannelId& channel,
   stats_.lookups.inc();
   const std::uint32_t slot = find_slot(key_of(channel));
   if (slot == kNotFound) {
+    // lint: drop-untraced (caller ForwardingPlane::forward classifies and traces; FIB has no clock)
     stats_.no_entry_drops.inc();
     return nullptr;
   }
   const FibEntry& entry = dense_[pos_[slot]].second;
   if (entry.iif != in_iface) {
+    // lint: drop-untraced (caller ForwardingPlane::forward classifies and traces; FIB has no clock)
     stats_.rpf_drops.inc();
     return nullptr;
   }

@@ -30,6 +30,7 @@
 #include "express/fib.hpp"
 #include "net/network.hpp"
 #include "net/replicate.hpp"
+#include "obs/obs.hpp"
 
 namespace express {
 

@@ -27,6 +27,11 @@ ExpressHost::ExpressHost(net::Network& network, net::NodeId id)
       scope_.counter("express.host.control_bytes_sent");
 }
 
+ExpressHost::~ExpressHost() {
+  // lint: order-independent (timer cancellations commute)
+  for (auto& [seq, pending] : pending_queries_) pending.second.cancel();
+}
+
 // ---------------------------------------------------------------------
 // Source side
 // ---------------------------------------------------------------------

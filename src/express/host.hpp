@@ -22,8 +22,12 @@
 #include "ecmp/count_id.hpp"
 #include "ecmp/messages.hpp"
 #include "express/router.hpp"
+#include "ip/channel.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "obs/obs.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace express {
 
@@ -40,6 +44,8 @@ class ExpressHost : public net::Node {
  public:
   /// Hosts are single-homed: interface 0 leads to the first-hop router.
   ExpressHost(net::Network& network, net::NodeId id);
+  /// Cancels the lost-reply guard timers of still-pending count queries.
+  ~ExpressHost() override;
 
   void handle_packet(const net::Packet& packet, std::uint32_t in_iface) override;
 

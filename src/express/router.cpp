@@ -53,6 +53,11 @@ ExpressRouter::ExpressRouter(net::Network& network, net::NodeId id,
       scope_.counter("express.router.unresolved_neighbor_updates");
 }
 
+ExpressRouter::~ExpressRouter() {
+  // lint: order-independent (timer cancellations commute)
+  for (auto& [channel, handle] : pending_switches_) handle.cancel();
+}
+
 // ---------------------------------------------------------------------
 // Packet dispatch
 // ---------------------------------------------------------------------

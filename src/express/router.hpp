@@ -33,8 +33,12 @@
 #include "express/fib.hpp"
 #include "express/forwarding.hpp"
 #include "express/subscription.hpp"
+#include "ip/channel.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "obs/obs.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace express {
 
@@ -98,6 +102,8 @@ struct RouterStats {
 class ExpressRouter : public net::Node {
  public:
   ExpressRouter(net::Network& network, net::NodeId id, RouterConfig config = {});
+  /// Cancels any hysteresis timers still pending against the scheduler.
+  ~ExpressRouter() override;
 
   void handle_packet(const net::Packet& packet, std::uint32_t in_iface) override;
   void on_routing_change() override;

@@ -29,6 +29,7 @@
 #include "ecmp/count_id.hpp"
 #include "ip/channel.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "sim/time.hpp"
 
 namespace express {

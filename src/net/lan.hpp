@@ -16,6 +16,7 @@
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "net/replicate.hpp"
+#include "sim/time.hpp"
 
 namespace express::net {
 

@@ -138,6 +138,7 @@ void Network::transmit(NodeId from, LinkId link, Packet packet) {
     }
   }
   auto iface_at_peer = topology_.interface_on(to, link);
+  // lint: fire-and-forget (in-flight packet delivery; the scheduler owns the event)
   scheduler_.schedule_at(
       arrival, [this, to, iface = *iface_at_peer, p = std::move(packet)]() {
         deliver_packet(to, p, iface);
@@ -195,6 +196,7 @@ bool Network::Fanout::add(std::uint32_t iface) {
   }
   const DeliveryTarget target{to, *net.topology_.interface_on(to, link)};
   if (!net.fanout_batching_) {
+    // lint: fire-and-forget (in-flight packet delivery; the scheduler owns the event)
     net.scheduler_.schedule_at(arrival, [n = net_, target, p = packet_]() {
       n->deliver_packet(target.to, p, target.iface);
     });
@@ -223,11 +225,13 @@ void Network::Fanout::flush() {
   Network& net = *net_;
   if (batch_ == kNoBatch) {
     // Single copy at this arrival: same event shape as transmit().
+    // lint: fire-and-forget (in-flight packet delivery; the scheduler owns the event)
     net.scheduler_.schedule_at(
         arrival_, [n = net_, target = first_, p = packet_]() {
           n->deliver_packet(target.to, p, target.iface);
         });
   } else {
+    // lint: fire-and-forget (in-flight packet delivery; the scheduler owns the event)
     net.scheduler_.schedule_at(arrival_, [n = net_, id = batch_]() {
       n->deliver_fanout_batch(id);
     });
@@ -262,6 +266,7 @@ void Network::send_unicast(NodeId from, Packet packet) {
   }
   if (from == *dest) {
     // Loopback delivery: interface index is irrelevant; use 0.
+    // lint: fire-and-forget (in-flight packet delivery; the scheduler owns the event)
     scheduler_.schedule_after(sim::Duration{0},
                               [this, to = from, p = std::move(packet)]() {
                                 deliver_packet(to, p, 0);
@@ -304,6 +309,7 @@ void Network::send_unicast(NodeId from, Packet packet) {
   const NodeId to = *dest;
   const NodeId prev = hops[hops.size() - 2];
   auto iface_at_dest = topology_.interface_to(to, prev);
+  // lint: fire-and-forget (in-flight packet delivery; the scheduler owns the event)
   scheduler_.schedule_at(at, [this, to, iface = iface_at_dest.value_or(0),
                               p = std::move(packet)]() {
     deliver_packet(to, p, iface);

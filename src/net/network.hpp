@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "ip/address.hpp"
 #include "net/impairment.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "ip/address.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
 

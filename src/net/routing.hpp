@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "sim/time.hpp"
 
 namespace express::net {
 

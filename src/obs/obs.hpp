@@ -230,6 +230,7 @@ enum class DropReason : std::uint8_t {
   kTtlExpired = 3,
   kNoFibEntry = 4,
   kRpfFail = 5,
+  kPolicy = 6,  ///< application-level policy (relay authorization, floor)
 };
 
 /// One POD trace record. a/b/c are type-specific operands (packet

@@ -14,7 +14,10 @@
 
 #include "ecmp/count_id.hpp"
 #include "express/host.hpp"
+#include "ip/channel.hpp"
 #include "relay/participant.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace express::relay {
 

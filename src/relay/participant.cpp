@@ -155,8 +155,9 @@ void Participant::on_channel_data(const net::Packet& packet, sim::Time at) {
       if (auto_subscribe_) host_.new_subscription(direct);
       return;
     }
-    default:
-      return;
+    case FrameType::kFloorRequest:
+    case FrameType::kFloorRelease:
+      return;  // participant-direction frames; ignore on the channel
   }
 }
 

@@ -13,7 +13,11 @@
 #include <vector>
 
 #include "express/host.hpp"
+#include "ip/channel.hpp"
+#include "net/packet.hpp"
 #include "relay/wire.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace express::relay {
 

@@ -91,6 +91,9 @@ void SessionRelay::on_unicast(const net::Packet& packet) {
     // §4.1: "the application can strictly monitor and control the
     // traffic over the multicast channel" — unlike an RP or core.
     stats_.dropped_unauthorized.inc();
+    scope_.emit(host_.network().now(), obs::TraceType::kPacketDropped,
+                static_cast<std::uint64_t>(obs::DropReason::kPolicy),
+                packet.wire_size());
     return;
   }
 
@@ -98,6 +101,9 @@ void SessionRelay::on_unicast(const net::Packet& packet) {
     case FrameType::kData: {
       if (config_.floor_control && floor_holder_ != packet.src) {
         stats_.dropped_no_floor.inc();
+        scope_.emit(host_.network().now(), obs::TraceType::kPacketDropped,
+                    static_cast<std::uint64_t>(obs::DropReason::kPolicy),
+                    packet.wire_size());
         return;
       }
       relay_frame(packet.src, packet.data_bytes);
@@ -122,7 +128,9 @@ void SessionRelay::on_unicast(const net::Packet& packet) {
       stats_.channels_announced.inc();
       return;
     }
-    default:
+    case FrameType::kHeartbeat:
+    case FrameType::kFloorGrant:
+    case FrameType::kFloorDeny:
       return;  // channel-direction frames are not valid upstream
   }
 }

@@ -18,7 +18,12 @@
 #include <unordered_set>
 
 #include "express/host.hpp"
+#include "ip/channel.hpp"
+#include "net/packet.hpp"
+#include "obs/obs.hpp"
 #include "relay/wire.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace express::relay {
 

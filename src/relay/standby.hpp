@@ -13,6 +13,8 @@
 
 #include "relay/participant.hpp"
 #include "relay/session_relay.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace express::relay {
 
@@ -27,6 +29,7 @@ class StandbyCluster {
   /// runs `backup` (inactive) and promotes it on primary failure.
   StandbyCluster(SessionRelay& primary, SessionRelay& backup,
                  ExpressHost& backup_host, StandbyConfig config = {});
+  ~StandbyCluster() { stop(); }
 
   [[nodiscard]] bool backup_active() const { return backup_.active(); }
   [[nodiscard]] std::optional<sim::Time> promoted_at() const {
@@ -35,6 +38,9 @@ class StandbyCluster {
 
   /// Start monitoring (subscribes the backup host to the primary channel).
   void start();
+  /// Stop monitoring: cancels the watchdog timer (promotion no longer
+  /// fires). Idempotent; also runs on destruction.
+  void stop() { timer_.cancel(); }
 
  private:
   void arm_timer();

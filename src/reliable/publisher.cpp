@@ -176,6 +176,7 @@ void Publisher::apply_round_repairs(const RepairReport& report,
   }
   // Bounded exponential backoff before re-counting, giving the repairs
   // time to land (and the network time to drain under burst loss).
+  // lint: fire-and-forget (one-shot backoff continuation of an in-progress completion round)
   host_.network().scheduler().schedule_after(backoff_,
                                              [this]() { completion_round(); });
   backoff_ = std::min(backoff_ * 2, config_.max_backoff);

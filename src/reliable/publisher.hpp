@@ -19,6 +19,9 @@
 
 #include "ecmp/count_id.hpp"
 #include "express/host.hpp"
+#include "ip/channel.hpp"
+#include "obs/obs.hpp"
+#include "sim/time.hpp"
 
 namespace express::reliable {
 

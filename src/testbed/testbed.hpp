@@ -12,6 +12,7 @@
 #include "express/host.hpp"
 #include "express/router.hpp"
 #include "net/network.hpp"
+#include "sim/time.hpp"
 #include "workload/topo_gen.hpp"
 
 namespace express {

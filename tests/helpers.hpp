@@ -2,7 +2,7 @@
 // tests historically used.
 #pragma once
 
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 
 namespace express::test {
 

@@ -1,0 +1,13 @@
+// VIOLATION (arch-include-cpp): a translation unit is not an include
+// surface.
+#pragma once
+
+#include "low/base.cpp"
+
+namespace high {
+
+struct IncludesCpp {
+  int x = 0;
+};
+
+}  // namespace high

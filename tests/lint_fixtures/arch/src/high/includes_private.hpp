@@ -1,0 +1,13 @@
+// VIOLATION (arch-private-header): low/impl_detail.hpp is private to
+// `low`; `high` must go through the module's public surface.
+#pragma once
+
+#include "low/impl_detail.hpp"
+
+namespace high {
+
+struct Intruder {
+  low::Detail detail;
+};
+
+}  // namespace high

@@ -1,0 +1,10 @@
+// VIOLATION (arch-pragma-once): header lacks the include guard.
+#include "low/base.hpp"
+
+namespace high {
+
+struct NoPragma {
+  low::Base base;
+};
+
+}  // namespace high

@@ -1,0 +1,11 @@
+// VIOLATION (arch-self-containment): names low::Base but includes no
+// low/ header — compiles only via someone else's transitive includes.
+#pragma once
+
+namespace high {
+
+struct Leaky {
+  low::Base base;
+};
+
+}  // namespace high

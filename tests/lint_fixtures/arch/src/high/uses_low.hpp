@@ -1,0 +1,13 @@
+// Clean: `high` is allowed to depend on `low` and includes the header
+// it uses directly (self-contained).
+#pragma once
+
+#include "low/base.hpp"
+
+namespace high {
+
+struct User {
+  low::Base base;
+};
+
+}  // namespace high

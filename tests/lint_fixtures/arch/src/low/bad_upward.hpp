@@ -1,0 +1,13 @@
+// VIOLATION (arch-layer): `low` declares no dependency on `high`, so
+// this include is an upward edge in the layer DAG.
+#pragma once
+
+#include "high/uses_low.hpp"
+
+namespace low {
+
+struct Upward {
+  high::User user;
+};
+
+}  // namespace low

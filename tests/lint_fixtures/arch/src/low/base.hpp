@@ -1,0 +1,10 @@
+// Clean leaf header of the `low` module: #pragma once, no dependencies.
+#pragma once
+
+namespace low {
+
+struct Base {
+  int value = 0;
+};
+
+}  // namespace low

@@ -1,0 +1,13 @@
+// Private implementation header of `low` (listed under [private] in
+// layers.toml); only `low` itself may include it.
+#pragma once
+
+#include "low/base.hpp"
+
+namespace low {
+
+struct Detail {
+  Base base;
+};
+
+}  // namespace low

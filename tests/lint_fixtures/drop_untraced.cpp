@@ -1,0 +1,24 @@
+// archlint fixture: a drop counter bumped without a paired trace emit
+// (fires), next to a properly traced bump (does not fire).
+#include "obs/obs.hpp"
+
+namespace fixture {
+
+class Plane {
+ public:
+  void on_bad_packet() {
+    // VIOLATION (drop-untraced): metric moves, replay sees nothing.
+    drops_.inc();
+  }
+
+  void on_bad_packet_traced(long now) {
+    drops_.inc();
+    scope_.emit(now, obs::TraceType::kPacketDropped, 0, 0);
+  }
+
+ private:
+  obs::Counter drops_;
+  obs::Scope scope_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// archlint fixture: both handle-leak shapes. (Never compiled — consumed
+// by scripts/lint/archlint.py --self-test.)
+#include "sim/scheduler.hpp"
+
+namespace fixture {
+
+class Leaky {
+ public:
+  void arm() {
+    // VIOLATION (handle-leak): returned EventHandle is discarded.
+    scheduler_->schedule_after(sim::seconds(1), [] {});
+  }
+
+ private:
+  sim::Scheduler* scheduler_ = nullptr;
+  // VIOLATION (handle-leak): member never cancel()ed on any teardown
+  // path of Leaky.
+  sim::EventHandle timer_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// archlint fixture: registry slot created on the traffic path (fires)
+// versus in the constructor (does not fire).
+#include "obs/obs.hpp"
+
+namespace fixture {
+
+class Meter {
+ public:
+  explicit Meter(obs::Scope scope) : scope_(scope) {
+    early_ = scope_.counter("fixture.early");
+  }
+
+  void on_first_packet() {
+    // VIOLATION (late-registration): slot existence now depends on
+    // whether traffic arrived, so snapshots diverge run-to-run.
+    late_ = scope_.counter("fixture.late");
+  }
+
+ private:
+  obs::Scope scope_;
+  obs::Counter early_;
+  obs::Counter late_;
+};
+
+}  // namespace fixture

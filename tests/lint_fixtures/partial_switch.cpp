@@ -1,0 +1,33 @@
+// archlint fixture: both enum-switch-gap shapes — a gap with no default
+// and a gap hidden behind an unjustified default.
+
+namespace fixture {
+
+enum class Verb : int {
+  kGet = 0,
+  kPut = 1,
+  kDelete = 2,
+};
+
+int no_default(Verb v) {
+  // VIOLATION (enum-switch-gap): misses kDelete and has no default.
+  switch (v) {
+    case Verb::kGet:
+      return 1;
+    case Verb::kPut:
+      return 2;
+  }
+  return 0;
+}
+
+int bare_default(Verb v) {
+  // VIOLATION (enum-switch-gap): default present but unjustified.
+  switch (v) {
+    case Verb::kGet:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// archlint fixture: clean switches — exhaustive coverage, and a subset
+// justified with a partial-switch annotation. Zero findings expected.
+
+namespace fixture {
+
+enum class Verb : int {
+  kGet = 0,
+  kPut = 1,
+  kDelete = 2,
+};
+
+int exhaustive(Verb v) {
+  switch (v) {
+    case Verb::kGet:
+      return 1;
+    case Verb::kPut:
+      return 2;
+    case Verb::kDelete:
+      return 3;
+  }
+  return 0;
+}
+
+int justified(Verb v) {
+  // lint: partial-switch (only reads matter here; writes fall through)
+  switch (v) {
+    case Verb::kGet:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// archlint fixture: wire struct whose codec covers every field on both
+// paths. Zero findings expected.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Probe {
+  std::uint32_t seq = 0;
+  std::uint16_t flags = 0;
+  std::uint8_t ttl = 0;
+};
+
+}  // namespace fixture

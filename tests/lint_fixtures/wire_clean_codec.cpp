@@ -1,0 +1,21 @@
+// archlint fixture codec for wire_clean.hpp: every field appears in
+// both the encode and the decode path.
+#include "wire_clean.hpp"
+
+namespace fixture {
+
+void encode_probe(const Probe& p, unsigned char* out) {
+  out[0] = static_cast<unsigned char>(p.seq);
+  out[4] = static_cast<unsigned char>(p.flags);
+  out[6] = p.ttl;
+}
+
+Probe decode_probe(const unsigned char* in) {
+  Probe p;
+  p.seq = in[0];
+  p.flags = in[4];
+  p.ttl = in[6];
+  return p;
+}
+
+}  // namespace fixture

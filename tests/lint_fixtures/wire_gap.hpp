@@ -1,0 +1,15 @@
+// archlint fixture: wire struct whose `flags` field the decode path of
+// wire_gap_codec.cpp never touches (wire-field-gap fires).
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Probe {
+  std::uint32_t seq = 0;
+  std::uint16_t flags = 0;
+  std::uint8_t ttl = 0;
+};
+
+}  // namespace fixture

@@ -16,7 +16,7 @@
 
 #include <vector>
 
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "workload/churn.hpp"
 #include "workload/topo_gen.hpp"
 

@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "net/network.hpp"
 #include "net/replicate.hpp"
 #include "sim/random.hpp"

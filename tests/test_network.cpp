@@ -4,7 +4,7 @@
 
 #include <memory>
 
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "net/impairment.hpp"
 #include "net/network.hpp"
 

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "audit/invariants.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "obs/obs.hpp"
 #include "workload/chaos.hpp"
 #include "workload/churn.hpp"

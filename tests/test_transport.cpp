@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "ecmp/transport.hpp"
-#include "express/testbed.hpp"
+#include "testbed/testbed.hpp"
 #include "net/network.hpp"
 #include "workload/topo_gen.hpp"
 
