@@ -1,0 +1,215 @@
+// PARALLEL — sharded-engine throughput and cross-K counter equality.
+//
+// Runs one pinned §5-scale workload (a wide k-ary router tree, every
+// receiver subscribed, seeded join/leave churn plus periodic channel
+// data) under the plain single-threaded network and under the parallel
+// engine at K = 1, 2, 4 shards, worker threads = min(K, cores). Two
+// things are reported per mode:
+//
+//   * throughput — wire events (packets put on links) per wall-clock
+//     second; the scenario is fixed, so modes compare directly;
+//   * equality — the NetworkStats wire counters must be byte-equal to
+//     the plain run's in every mode (the DESIGN.md §13 contract; the
+//     trace-level version is gated by scripts/obs_golden.sh --shards).
+//
+// scripts/bench_gate.sh guards the committed BENCH_parallel.json: the
+// equality flags must stay true and the K=1 (passthrough) throughput
+// must not regress. Speedups are reported, not gated — this simulator
+// is event-dominated, and on small windows the barrier overhead can
+// eat the parallel win; the bench exists to keep the engine honest,
+// not to promise linear scaling.
+//
+//   ./build/bench/bench_parallel --out BENCH_parallel.json   # full
+//   ./build/bench/bench_parallel --quick --out /dev/null     # CI smoke
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "net/network.hpp"
+#include "net/sharding.hpp"
+#include "sim/parallel.hpp"
+#include "testbed/testbed.hpp"
+#include "workload/churn.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace {
+
+using namespace express;
+
+struct ModeResult {
+  double wall_s = 0;
+  net::NetworkStats wire{};
+  sim::ParallelStats par{};
+  std::uint64_t routers = 0;
+  std::uint64_t receivers = 0;
+};
+
+bool wire_equal(const net::NetworkStats& a, const net::NetworkStats& b) {
+  return a.packets_sent == b.packets_sent && a.bytes_sent == b.bytes_sent &&
+         a.packets_dropped_link_down == b.packets_dropped_link_down &&
+         a.packets_dropped_no_route == b.packets_dropped_no_route &&
+         a.packets_dropped_ttl == b.packets_dropped_ttl &&
+         a.packets_dropped_loss == b.packets_dropped_loss &&
+         a.packets_reordered == b.packets_reordered;
+}
+
+/// The pinned workload: subscribe everyone, churn a third of the
+/// receivers, stream periodic data on several channels. Every event is
+/// scheduled on the acting node's own shard so all modes see identical
+/// per-shard input streams.
+ModeResult run_mode(bool quick, std::uint32_t shards, unsigned workers) {
+  const auto generated = quick ? workload::make_kary_tree(2, 3, {}, 2)
+                               : workload::make_kary_tree(4, 3, {}, 4);
+  Testbed bed(generated, TestbedOptions{.shards = shards, .workers = workers});
+  net::Network& net = bed.net();
+  const net::NodeId source_node = bed.roles().source_host;
+
+  constexpr std::uint32_t kChannels = 4;
+  std::vector<ip::ChannelId> channels;
+  {
+    net::ShardContext ctx(net, source_node);
+    for (std::uint32_t c = 0; c < kChannels; ++c) {
+      channels.push_back(bed.source().allocate_channel());
+    }
+  }
+  for (std::size_t i = 0; i < bed.receiver_count(); ++i) {
+    const net::NodeId node = bed.roles().receiver_hosts[i];
+    net.scheduler_for(node).schedule_at(
+        sim::milliseconds(1), [&bed, &channels, i] {
+          for (const auto& ch : channels) {
+            bed.receiver(i).new_subscription(ch);
+          }
+        });
+  }
+
+  const sim::Duration horizon = quick ? sim::seconds(5) : sim::seconds(20);
+  sim::Rng rng(7);
+  const auto churn = workload::poisson_churn(
+      static_cast<std::uint32_t>(bed.receiver_count() / 3 + 1), horizon,
+      sim::seconds(3), sim::seconds(3), rng);
+  for (const auto& ev : churn) {
+    const net::NodeId node = bed.roles().receiver_hosts[ev.host_index];
+    net.scheduler_for(node).schedule_at(ev.at, [&bed, &channels, ev] {
+      if (ev.join) {
+        bed.receiver(ev.host_index).new_subscription(channels[0]);
+      } else {
+        bed.receiver(ev.host_index).delete_subscription(channels[0]);
+      }
+    });
+  }
+  std::uint64_t seq = 0;
+  for (sim::Time at = sim::milliseconds(50); at < horizon;
+       at += sim::milliseconds(50)) {
+    net.scheduler_for(source_node)
+        .schedule_at(at, [&bed, &channels, s = seq++] {
+          bed.source().send(channels[s % channels.size()], 700, s);
+        });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  net.run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  ModeResult r;
+  r.wall_s = std::chrono::duration<double>(stop - start).count();
+  r.wire = net.stats();
+  r.par = net.parallel_stats();
+  r.routers = bed.router_count();
+  r.receivers = bed.receiver_count();
+  return r;
+}
+
+double events_per_sec(const ModeResult& r) {
+  return r.wall_s > 0 ? static_cast<double>(r.wire.packets_sent) / r.wall_s
+                      : 0.0;
+}
+
+void write_mode_json(std::FILE* f, const char* key, const ModeResult& r,
+                     bool match, const char* trailer) {
+  std::fprintf(f, "  \"%s\": {\n", key);
+  std::fprintf(f, "    \"wall_s\": %.4f,\n", r.wall_s);
+  std::fprintf(f, "    \"events_per_sec\": %.0f,\n", events_per_sec(r));
+  std::fprintf(f, "    \"packets_sent\": %llu,\n",
+               static_cast<unsigned long long>(r.wire.packets_sent));
+  std::fprintf(f, "    \"bytes_sent\": %llu,\n",
+               static_cast<unsigned long long>(r.wire.bytes_sent));
+  std::fprintf(f, "    \"windows\": %llu,\n",
+               static_cast<unsigned long long>(r.par.windows));
+  std::fprintf(f, "    \"cross_shard_events\": %llu,\n",
+               static_cast<unsigned long long>(r.par.cross_shard_events));
+  std::fprintf(f, "    \"counters_match_plain\": %s\n",
+               match ? "true" : "false");
+  std::fprintf(f, "  }%s\n", trailer);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace express::bench;
+  bool quick = false;
+  std::string out = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  banner("PARALLEL", "sharded engine: throughput + cross-K wire equality");
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const ModeResult plain = run_mode(quick, 0, 1);
+  const ModeResult k1 = run_mode(quick, 1, 1);
+  const ModeResult k2 = run_mode(quick, 2, std::min(2u, cores));
+  const ModeResult k4 = run_mode(quick, 4, std::min(4u, cores));
+
+  const bool m1 = wire_equal(plain.wire, k1.wire);
+  const bool m2 = wire_equal(plain.wire, k2.wire);
+  const bool m4 = wire_equal(plain.wire, k4.wire);
+
+  Table table({"mode", "wall s", "events/s", "packets", "windows",
+               "cross events", "wire == plain"});
+  auto row = [&table](const char* mode, const ModeResult& r, bool match) {
+    table.row({mode, fmt(r.wall_s, 3), fmt(events_per_sec(r), 0),
+               fmt_int(r.wire.packets_sent), fmt_int(r.par.windows),
+               fmt_int(r.par.cross_shard_events),
+               match ? "yes" : "NO"});
+  };
+  row("plain", plain, true);
+  row("k1", k1, m1);
+  row("k2", k2, m2);
+  row("k4", k4, m4);
+  table.print();
+  note("scenario: " + fmt_int(plain.routers) + " routers, " +
+       fmt_int(plain.receivers) + " receivers, churn + 4-channel data;");
+  note("equality = every NetworkStats wire counter identical to plain.");
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_parallel: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_parallel\",\n");
+  std::fprintf(f, "  \"version\": 1,\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"routers\": %llu,\n",
+               static_cast<unsigned long long>(plain.routers));
+  std::fprintf(f, "  \"receivers\": %llu,\n",
+               static_cast<unsigned long long>(plain.receivers));
+  write_mode_json(f, "plain", plain, true, ",");
+  write_mode_json(f, "k1", k1, m1, ",");
+  write_mode_json(f, "k2", k2, m2, ",");
+  write_mode_json(f, "k4", k4, m4, "");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", out.c_str());
+  return (m1 && m2 && m4) ? 0 : 1;
+}

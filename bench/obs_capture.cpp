@@ -1,47 +1,108 @@
-// obs_capture: record the observability plane for the pinned seeded
-// churn scenario (the same run test_determinism pins counter-by-
-// counter) and export it as artifacts:
+// obs_capture: record the observability plane for a pinned seeded
+// scenario and export it as artifacts. The default run is the same
+// seeded-churn scenario test_determinism pins counter-by-counter; the
+// sharding flags turn the binary into the A/B probe scripts/
+// obs_golden.sh uses to prove the parallel engine deterministic
+// (DESIGN.md §13):
 //
-//   --seed N          churn RNG seed (default 7, the pinned scenario)
-//   --trace-out P     event trace as canonical JSONL (default trace.jsonl)
-//   --metrics-out P   metrics registry snapshot JSON (default metrics.json)
+//   --seed N            scenario RNG seed (default 7, the pinned run)
+//   --trace-out P       event trace JSONL (default trace.jsonl)
+//   --metrics-out P     metrics registry snapshot JSON (default metrics.json)
+//   --scenario S        churn (default) or chaos (fault campaign)
+//   --shards K          0 = plain network (default); >=1 = sharded via
+//                       the parallel engine (1 = passthrough mode)
+//   --workers N         worker threads for sharded windows (default 1)
+//   --trace-cap N       trace ring capacity (default 1<<16; raise it if
+//                       a lane wraps — merged exports refuse wrapped rings)
+//   --merged            export obs::merged_trace_jsonl over all lanes
+//                       (raw per-lane records; worker-count invariant)
+//   --canonical         export obs::canonical_trace_jsonl (content-
+//                       sorted, kTimerFire elided; shard-count invariant)
+//   --normalized-snapshot  zero the sim.sched.* scheduler-mechanics
+//                       metrics before snapshotting, so snapshots
+//                       compare across shard layouts (event counts are
+//                       execution mechanics, not protocol behavior)
 //
-// Two runs with the same seed must produce byte-identical files; diff
+// Two runs with the same flags must produce byte-identical files; diff
 // divergent captures with scripts/tracediff.py to find the first event
-// where the runs disagree (see DESIGN.md §11 / EXPERIMENTS.md).
+// where the runs disagree (see DESIGN.md §11/§13, EXPERIMENTS.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "testbed/testbed.hpp"
+#include "audit/invariants.hpp"
+#include "net/sharding.hpp"
 #include "obs/obs.hpp"
+#include "testbed/testbed.hpp"
+#include "workload/chaos.hpp"
 #include "workload/churn.hpp"
 #include "workload/topo_gen.hpp"
 
 namespace {
 
+using namespace express;
+
 struct Options {
   std::uint64_t seed = 7;
   std::string trace_out = "trace.jsonl";
   std::string metrics_out = "metrics.json";
+  std::string scenario = "churn";
+  std::uint32_t shards = 0;
+  unsigned workers = 1;
+  std::size_t trace_cap = 1 << 16;
+  bool merged = false;
+  bool canonical = false;
+  bool normalized_snapshot = false;
 };
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: obs_capture [--seed N] [--trace-out P] "
+               "[--metrics-out P]\n"
+               "                   [--scenario churn|chaos] [--shards K] "
+               "[--workers N]\n"
+               "                   [--trace-cap N] [--merged] [--canonical] "
+               "[--normalized-snapshot]\n");
+  std::exit(2);
+}
 
 Options parse(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      opt.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
-      opt.trace_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
-      opt.metrics_out = argv[++i];
+    const auto arg = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0;
+    };
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg("--seed")) {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg("--trace-out")) {
+      opt.trace_out = next();
+    } else if (arg("--metrics-out")) {
+      opt.metrics_out = next();
+    } else if (arg("--scenario")) {
+      opt.scenario = next();
+      if (opt.scenario != "churn" && opt.scenario != "chaos") usage();
+    } else if (arg("--shards")) {
+      opt.shards = static_cast<std::uint32_t>(
+          std::strtoul(next(), nullptr, 10));
+    } else if (arg("--workers")) {
+      opt.workers = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg("--trace-cap")) {
+      opt.trace_cap = static_cast<std::size_t>(
+          std::strtoull(next(), nullptr, 10));
+    } else if (arg("--merged")) {
+      opt.merged = true;
+    } else if (arg("--canonical")) {
+      opt.canonical = true;
+    } else if (arg("--normalized-snapshot")) {
+      opt.normalized_snapshot = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: obs_capture [--seed N] [--trace-out P] "
-                   "[--metrics-out P]\n");
-      std::exit(2);
+      usage();
     }
   }
   return opt;
@@ -58,27 +119,28 @@ bool write_file(const std::string& path, const std::string& body) {
   return true;
 }
 
-}  // namespace
+/// Mirror of test_determinism's run_seeded_churn: 16 receivers over a
+/// binary router tree, Poisson join/leave churn, periodic channel data.
+/// Every scenario event is scheduled on the acting node's own shard
+/// (net::Network::scheduler_for), so identical flags produce the same
+/// per-shard event streams regardless of shard count.
+void run_churn(Testbed& bed, std::uint64_t seed) {
+  net::Network& net = bed.net();
+  const net::NodeId source_node = bed.roles().source_host;
+  ip::ChannelId channel{};
+  {
+    net::ShardContext ctx(net, source_node);
+    channel = bed.source().allocate_channel();
+  }
 
-int main(int argc, char** argv) {
-  using namespace express;
-  const Options opt = parse(argc, argv);
-
-  // Mirror of test_determinism's run_seeded_churn: 16 receivers over a
-  // binary router tree, Poisson join/leave churn, periodic channel data.
-  Testbed bed(workload::make_kary_tree(2, 3, {}, 2));
-  bed.net().obs().trace.enable(1 << 16);  // retains the whole scenario
-  const ip::ChannelId channel = bed.source().allocate_channel();
-
-  sim::Rng rng(opt.seed);
+  sim::Rng rng(seed);
   const sim::Duration horizon = sim::seconds(10);
   const auto events = workload::poisson_churn(
       static_cast<std::uint32_t>(bed.receiver_count()), horizon,
       sim::seconds(5), sim::seconds(3), rng);
-
-  auto& sched = bed.net().scheduler();
   for (const auto& ev : events) {
-    sched.schedule_at(ev.at, [&bed, &channel, ev] {
+    const net::NodeId node = bed.roles().receiver_hosts[ev.host_index];
+    net.scheduler_for(node).schedule_at(ev.at, [&bed, channel, ev] {
       if (ev.join) {
         bed.receiver(ev.host_index).new_subscription(channel);
       } else {
@@ -90,22 +152,137 @@ int main(int argc, char** argv) {
   std::uint64_t seq = 0;
   for (sim::Time at = sim::milliseconds(200); at < horizon;
        at += sim::milliseconds(200)) {
-    sched.schedule_at(at, [&bed, &channel, &header, s = seq++] {
-      bed.source().send(channel, 500, s, header);
+    net.scheduler_for(source_node)
+        .schedule_at(at, [&bed, channel, header, s = seq++] {
+          bed.source().send(channel, 500, s, header);
+        });
+  }
+  net.run();
+}
+
+/// A short deterministic fault campaign over the same tree: every
+/// receiver subscribed, link flaps / router deaths / partitions drawn
+/// from `seed`, churn plus periodic data scheduled into each fault
+/// window, the invariant auditor sampled through every settle phase.
+void run_chaos(Testbed& bed, std::uint64_t seed) {
+  net::Network& net = bed.net();
+  const net::NodeId source_node = bed.roles().source_host;
+  ip::ChannelId channel{};
+  {
+    net::ShardContext ctx(net, source_node);
+    channel = bed.source().allocate_channel();
+  }
+  for (std::size_t i = 0; i < bed.receiver_count(); ++i) {
+    const net::NodeId node = bed.roles().receiver_hosts[i];
+    net.scheduler_for(node).schedule_at(sim::milliseconds(1), [&bed, channel,
+                                                              i] {
+      bed.receiver(i).new_subscription(channel);
     });
   }
-  bed.net().run();
+  net.run_until(sim::milliseconds(100));
 
-  const obs::Plane& plane = bed.net().obs();
-  if (!write_file(opt.trace_out, plane.trace.to_jsonl())) return 1;
-  if (!write_file(opt.metrics_out,
-                  plane.registry.snapshot_json(bed.net().now()))) {
+  workload::FaultPlanConfig plan;
+  plan.fault_count = 6;
+  sim::Rng fault_rng(seed);
+  const auto schedule =
+      workload::make_fault_schedule(net.topology(), plan, fault_rng);
+
+  sim::Rng churn_rng(seed ^ 0x5DEECE66DULL);
+  std::uint64_t seq = 0;
+  auto churn = [&](std::size_t) {
+    const auto events = workload::poisson_churn(
+        static_cast<std::uint32_t>(bed.receiver_count() - 1), sim::seconds(4),
+        sim::seconds(2), sim::seconds(2), churn_rng);
+    for (const auto& ev : events) {
+      // Churn over receivers 1..n-1; receiver 0 stays subscribed so the
+      // channel tree never collapses mid-fault.
+      const std::size_t idx = ev.host_index + 1;
+      const net::NodeId node = bed.roles().receiver_hosts[idx];
+      net.scheduler_for(node).schedule_at(
+          net.now() + (ev.at - sim::Time{}), [&bed, channel, idx, ev] {
+            if (ev.join) {
+              bed.receiver(idx).new_subscription(channel);
+            } else {
+              bed.receiver(idx).delete_subscription(channel);
+            }
+          });
+    }
+    for (int k = 0; k < 10; ++k) {
+      net.scheduler_for(source_node)
+          .schedule_at(net.now() + sim::milliseconds(50 * (k + 1)),
+                       [&bed, channel, &seq] {
+                         bed.source().send(channel, 300, ++seq);
+                       });
+    }
+  };
+  auto audit = [&net] {
+    return audit::InvariantAuditor(net).run().violations.size();
+  };
+  const workload::ChaosReport report = workload::run_chaos_campaign(
+      net, schedule, workload::ChaosConfig{}, audit, churn);
+  if (report.unconverged != 0 || report.violations != 0) {
+    std::fprintf(stderr, "obs_capture: chaos campaign dirty (%llu/%llu)\n",
+                 static_cast<unsigned long long>(report.unconverged),
+                 static_cast<unsigned long long>(report.violations));
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  Testbed bed(workload::make_kary_tree(2, 3, {}, 2),
+              TestbedOptions{.shards = opt.shards, .workers = opt.workers});
+  net::Network& net = bed.net();
+  net.obs().trace.enable(opt.trace_cap);
+
+  if (opt.scenario == "chaos") {
+    run_chaos(bed, opt.seed);
+  } else {
+    run_churn(bed, opt.seed);
+  }
+
+  std::string trace_body;
+  if (opt.canonical) {
+    trace_body = obs::canonical_trace_jsonl(net.trace_lanes());
+  } else if (opt.merged) {
+    trace_body = obs::merged_trace_jsonl(net.trace_lanes());
+  } else {
+    trace_body = net.obs().trace.to_jsonl();
+  }
+  if (!write_file(opt.trace_out, trace_body)) return 1;
+
+  sim::Time stamp = net.now();
+  if (opt.normalized_snapshot) {
+    // Re-registering zeroes the slot (obs::Registry contract): wipe the
+    // scheduler-mechanics metrics, which legitimately differ between
+    // shard layouts (batching, per-shard schedulers) while every
+    // protocol-level metric must still match exactly. The quiescence
+    // wall-stamp is layout mechanics too (it is whatever instant the
+    // last shard-0 event ran at), so normalized snapshots stamp zero.
+    obs::Registry& reg = net.obs().registry;
+    const obs::Entity e = obs::Entity::network();
+    reg.counter("sim.sched.scheduled", e);
+    reg.counter("sim.sched.executed", e);
+    reg.counter("sim.sched.cancelled", e);
+    reg.counter("sim.sched.clamped_past", e);
+    reg.gauge("sim.sched.peak_pending", e);
+    stamp = sim::Time{};
+  }
+  if (!write_file(opt.metrics_out, net.obs().registry.snapshot_json(stamp))) {
     return 1;
   }
-  std::printf("obs_capture: seed=%llu events=%llu metrics=%zu -> %s, %s\n",
-              static_cast<unsigned long long>(opt.seed),
-              static_cast<unsigned long long>(plane.trace.next_index()),
-              plane.registry.size(), opt.trace_out.c_str(),
-              opt.metrics_out.c_str());
+
+  std::uint64_t events = 0;
+  for (const obs::Trace* lane : net.trace_lanes()) events += lane->next_index();
+  std::printf(
+      "obs_capture: scenario=%s seed=%llu shards=%u workers=%u events=%llu "
+      "metrics=%zu -> %s, %s\n",
+      opt.scenario.c_str(), static_cast<unsigned long long>(opt.seed),
+      opt.shards, opt.workers, static_cast<unsigned long long>(events),
+      net.obs().registry.size(), opt.trace_out.c_str(),
+      opt.metrics_out.c_str());
   return 0;
 }

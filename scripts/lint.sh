@@ -7,9 +7,13 @@
 #                     always run — no toolchain dependency)
 #   2. archlint       architecture/lifecycle/wire-coverage lints
 #                     (layer DAG in scripts/lint/layers.toml)
-#   3. format check   clang-format diff-gate, or whitespace fallback
-#   4. clang-tidy     .clang-tidy profile, only when installed
-#   5. cppcheck       with scripts/lint/cppcheck-suppressions.txt,
+#   3. doclint        documentation honesty: DESIGN.md §-refs resolve,
+#                     every bench has an EXPERIMENTS.md entry, README
+#                     gate rows name real scripts, relative md links
+#                     resolve
+#   4. format check   clang-format diff-gate, or whitespace fallback
+#   5. clang-tidy     .clang-tidy profile, only when installed
+#   6. cppcheck       with scripts/lint/cppcheck-suppressions.txt,
 #                     only when installed
 #
 # The container image does not ship the clang tools; CI installs them.
@@ -22,8 +26,8 @@
 #                                 archlint on files touched per git
 #                                 (staged, unstaged and untracked);
 #                                 skips the format/tidy/cppcheck layers
-#   scripts/lint.sh --self-test   cpp_scan unit tests + detlint and
-#                                 archlint fixture suites
+#   scripts/lint.sh --self-test   cpp_scan unit tests + detlint,
+#                                 archlint and doclint fixture suites
 set -uo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -37,6 +41,9 @@ if [[ "${1:-}" == "--self-test" ]]; then
     --root "$repo_root" || fail=1
   echo "== archlint fixtures =="
   python3 "$repo_root/scripts/lint/archlint.py" --self-test \
+    --root "$repo_root" || fail=1
+  echo "== doclint fixtures =="
+  python3 "$repo_root/scripts/lint/doclint.py" --self-test \
     --root "$repo_root" || fail=1
   exit "$fail"
 fi
@@ -83,6 +90,13 @@ fi
 echo "== archlint (architecture, lifecycle & wire coverage) =="
 if python3 "$repo_root/scripts/lint/archlint.py" --root "$repo_root"; then
   echo "archlint: clean"
+else
+  fail=1
+fi
+
+echo "== doclint (documentation cross-reference honesty) =="
+if python3 "$repo_root/scripts/lint/doclint.py" --root "$repo_root"; then
+  echo "doclint: clean"
 else
   fail=1
 fi

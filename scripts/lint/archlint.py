@@ -23,6 +23,11 @@ Architecture conformance (config: scripts/lint/layers.toml)
                          namespace (net::, obs::, sim::, det::, ...)
                          without directly including a header of that
                          module.
+  doc-banner             a module header that does not open with a
+                         `//` banner comment of at least 3 lines
+                         saying what the header provides (the docs
+                         layer's entry point into the code; doclint.py
+                         covers the markdown side).
 
 Lifecycle flow
   handle-leak            an EventHandle returned by schedule_at /
@@ -245,6 +250,31 @@ def check_headers(tree: Tree, findings: list) -> None:
                 sf.line_of(off), sf.col_of(off),
                 f"header uses `{q}::` but does not include a `{q}/` "
                 "header directly (relies on transitive includes)"))
+
+
+#: A header's opening `//` run must be at least this many lines to count
+#: as a banner (one-liners degenerate into restating the filename).
+MIN_BANNER_LINES = 3
+
+
+def check_doc_banners(tree: Tree, findings: list) -> None:
+    for sf in tree.files:
+        _root, rel = tree.rel(sf)
+        if rel is None or not sf.path.endswith(HEADER_EXT):
+            continue
+        run_len = 0
+        for line in sf.raw.splitlines():
+            if line.startswith("//"):
+                run_len += 1
+            else:
+                break
+        if run_len < MIN_BANNER_LINES:
+            findings.append(Finding(
+                "doc-banner", sf.path, 1, 1,
+                f"header opens with a {run_len}-line `//` comment; module "
+                f"headers need a banner of >= {MIN_BANNER_LINES} lines "
+                "stating what the header provides and how it fits the "
+                "module (see existing src/ headers for the idiom)"))
 
 
 # --------------------------------------------------------------------------
@@ -631,6 +661,7 @@ def run(root: str, config_path: str, only=None) -> list:
 
     check_architecture(tree, findings)
     check_headers(tree, findings)
+    check_doc_banners(tree, findings)
     check_handle_leaks(tree, findings)
     check_registrations(tree, findings)
     check_drop_traces(tree, findings)
@@ -660,6 +691,7 @@ ARCH_SELF_TESTS = {
     "src/high/no_pragma.hpp": {"arch-pragma-once"},
     "src/high/not_self_contained.hpp": {"arch-self-containment"},
     "src/high/includes_cpp.hpp": {"arch-include-cpp"},
+    "src/low/no_banner.hpp": {"doc-banner"},
 }
 
 FILE_SELF_TESTS = {

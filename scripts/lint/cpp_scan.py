@@ -44,6 +44,7 @@ KNOWN_TAGS = (
     "partial-switch",
     "drop-untraced",
     "late-registration",
+    "shared-state-guarded",
 )
 
 

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Documentation linter for the EXPRESS simulator.
+
+detlint.py checks statements, archlint.py checks module contracts (and
+owns the doc-banner rule for headers); this driver keeps the *prose*
+honest — the markdown layer drifts silently when code moves, and a doc
+that points at nothing is worse than no doc:
+
+  doc-section-ref    a `DESIGN.md §N[.M]` cross-reference (in markdown
+                     OR in source comments) whose `## N.` / `### N.M`
+                     heading does not exist in DESIGN.md.
+  doc-bench-orphan   a bench/bench_*.cpp binary that EXPERIMENTS.md
+                     never mentions: every committed experiment needs a
+                     schema + how-to-run entry.
+  doc-gate-script    a backticked `scripts/...` path in README.md (the
+                     gate table and prose) that does not exist in the
+                     tree.
+  doc-broken-link    a relative markdown link whose target file or
+                     directory does not exist.
+
+Scanned markdown: README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md,
+CHANGES.md and docs/**. Scanned source (for §-refs only): src/, tests/,
+bench/, scripts/ — minus tests/lint_fixtures/, whose files violate on
+purpose. Fenced code blocks and inline code spans are stripped before
+link extraction (C++ lambdas read as markdown links otherwise).
+
+Zero third-party dependencies. Exit 0 = clean, 1 = findings,
+2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from cpp_scan import Finding, sort_findings  # noqa: E402
+
+
+ROOT_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+             "CHANGES.md")
+SOURCE_DIRS = ("src", "tests", "bench", "scripts")
+SOURCE_EXT = (".hpp", ".cpp", ".h", ".cc", ".py", ".sh", ".txt", ".toml")
+
+#: `## 7. Title` / `### 5.1 Title` headings in DESIGN.md.
+HEADING_RE = re.compile(r"^#{2,4}\s+(\d+(?:\.\d+)*)[.\s]", re.M)
+
+#: Every §N[.M] token on a line, *after* a DESIGN.md mention — a bare
+#: `§2.1` refers to the paper, not to DESIGN.md, and is not checked.
+SECTION_REF_RE = re.compile(r"§(\d+(?:\.\d+)*)")
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+GATE_SCRIPT_RE = re.compile(r"`(scripts/[^`\s]+)[^`]*`")
+
+FENCE_RE = re.compile(r"^```.*?^```", re.M | re.S)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def md_files(root: str) -> list[str]:
+    out = [p for p in ROOT_DOCS if os.path.exists(os.path.join(root, p))]
+    docs = os.path.join(root, "docs")
+    for dirpath, _dirs, names in os.walk(docs):
+        for name in sorted(names):
+            if name.endswith(".md"):
+                out.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return out
+
+
+def source_files(root: str) -> list[str]:
+    skip = os.path.join("tests", "lint_fixtures")
+    out = []
+    for d in SOURCE_DIRS:
+        for dirpath, _dirs, names in os.walk(os.path.join(root, d)):
+            rel_dir = os.path.relpath(dirpath, root)
+            if rel_dir.startswith(skip):
+                continue
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXT) or name == "CMakeLists.txt":
+                    out.append(os.path.join(rel_dir, name))
+    return out
+
+
+def design_sections(root: str) -> set[str] | None:
+    path = os.path.join(root, "DESIGN.md")
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        return set(HEADING_RE.findall(fh.read()))
+
+
+def check_section_refs(root: str, paths: list[str], sections,
+                       findings: list) -> None:
+    if sections is None:
+        return  # no DESIGN.md (fixture trees without one)
+    for rel in paths:
+        full = os.path.join(root, rel)
+        try:
+            with open(full, encoding="utf-8", errors="replace") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            continue
+        for i, line in enumerate(lines, 1):
+            at = line.find("DESIGN.md")
+            if at == -1:
+                continue
+            for m in SECTION_REF_RE.finditer(line, at):
+                if m.group(1) not in sections:
+                    findings.append(Finding(
+                        "doc-section-ref", full, i, m.start() + 1,
+                        f"reference to DESIGN.md §{m.group(1)} but "
+                        "DESIGN.md has no such section heading "
+                        f"(`## {m.group(1)}. ...`)"))
+
+
+def check_bench_coverage(root: str, findings: list) -> None:
+    exp_path = os.path.join(root, "EXPERIMENTS.md")
+    bench_dir = os.path.join(root, "bench")
+    if not os.path.exists(exp_path) or not os.path.isdir(bench_dir):
+        return
+    with open(exp_path, encoding="utf-8") as fh:
+        exp = fh.read()
+    for name in sorted(os.listdir(bench_dir)):
+        if not (name.startswith("bench_") and name.endswith(".cpp")):
+            continue
+        stem = name[: -len(".cpp")]
+        if not re.search(rf"\b{re.escape(stem)}\b", exp):
+            findings.append(Finding(
+                "doc-bench-orphan", os.path.join(bench_dir, name), 1, 1,
+                f"benchmark `{stem}` has no entry in EXPERIMENTS.md "
+                "(every committed bench needs its schema and how-to-run "
+                "documented)"))
+
+
+def check_gate_scripts(root: str, findings: list) -> None:
+    path = os.path.join(root, "README.md")
+    if not os.path.exists(path):
+        return
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for i, line in enumerate(lines, 1):
+        for m in GATE_SCRIPT_RE.finditer(line):
+            target = m.group(1)
+            if not os.path.exists(os.path.join(root, target)):
+                findings.append(Finding(
+                    "doc-gate-script", path, i, m.start() + 1,
+                    f"README names `{target}` but no such file exists"))
+
+
+def check_links(root: str, paths: list[str], findings: list) -> None:
+    for rel in paths:
+        full = os.path.join(root, rel)
+        try:
+            with open(full, encoding="utf-8") as fh:
+                raw = fh.read()
+        except OSError:
+            continue
+        text = INLINE_CODE_RE.sub(
+            lambda m: " " * len(m.group(0)), FENCE_RE.sub(
+                lambda m: re.sub(r"[^\n]", " ", m.group(0)), raw))
+        base = os.path.dirname(full)
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#",
+                                  "/")):
+                continue
+            if "::" in target:
+                continue  # C++ code that leaked past the strippers
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            if not os.path.exists(os.path.join(base, target)):
+                line = text.count("\n", 0, m.start()) + 1
+                col = m.start() - (text.rfind("\n", 0, m.start()) + 1) + 1
+                findings.append(Finding(
+                    "doc-broken-link", full, line, col,
+                    f"relative link target `{target}` does not exist "
+                    f"(resolved against {os.path.relpath(base, root) or '.'}/)"
+                ))
+
+
+def run(root: str) -> list:
+    findings: list[Finding] = []
+    docs = md_files(root)
+    sections = design_sections(root)
+    check_section_refs(root, docs + source_files(root), sections, findings)
+    check_bench_coverage(root, findings)
+    check_gate_scripts(root, findings)
+    check_links(root, docs, findings)
+    return sort_findings(findings)
+
+
+# --------------------------------------------------------------------------
+# Self-test: a miniature doc tree under tests/lint_fixtures/docs/ with
+# one violating and one clean instance of every check.
+# --------------------------------------------------------------------------
+
+SELF_TESTS = {
+    "README.md": {"doc-gate-script"},
+    "DESIGN.md": set(),
+    "EXPERIMENTS.md": set(),
+    "docs/bad_refs.md": {"doc-section-ref", "doc-broken-link"},
+    "docs/good.md": set(),
+    "bench/bench_good.cpp": set(),
+    "bench/bench_orphan.cpp": {"doc-bench-orphan"},
+    "src/uses_design.cpp": {"doc-section-ref"},
+}
+
+SELF_TEST_MIN_COUNTS = {
+    "docs/bad_refs.md": 3,  # two bad §-refs + one bad link; clean pairs quiet
+}
+
+
+def self_test(root: str) -> int:
+    fixture_root = os.path.join(root, "tests", "lint_fixtures", "docs")
+    failures: list[str] = []
+    per_file: dict[str, list] = {}
+    for f in run(fixture_root):
+        rel = os.path.relpath(f.path, fixture_root).replace(os.sep, "/")
+        per_file.setdefault(rel, []).append(f)
+    for name, expected in sorted(SELF_TESTS.items()):
+        if not os.path.exists(os.path.join(fixture_root, name)):
+            failures.append(f"{name}: fixture missing")
+            continue
+        findings = per_file.pop(name, [])
+        fired = {f.check for f in findings}
+        missing = expected - fired
+        unexpected = fired - expected
+        if missing:
+            failures.append(f"{name}: expected check(s) did not fire: "
+                            f"{sorted(missing)}")
+        if unexpected:
+            failures.append(
+                f"{name}: unexpected check(s) fired: {sorted(unexpected)} — "
+                + "; ".join(f.render() for f in findings
+                            if f.check in unexpected))
+        want = SELF_TEST_MIN_COUNTS.get(name)
+        if want is not None and len(findings) < want:
+            failures.append(f"{name}: expected >= {want} findings, "
+                            f"got {len(findings)}")
+    for name, findings in sorted(per_file.items()):
+        failures.append(f"{name}: findings on a file with no expectation — "
+                        + "; ".join(f.render() for f in findings))
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL {f}")
+        return 1
+    print(f"doclint self-test: {len(SELF_TESTS)} fixtures OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as a JSON array (for CI annotation)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run against tests/lint_fixtures/docs/ and assert "
+                    "each check fires on its fixture")
+    args = ap.parse_args(argv)
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = args.root or os.path.dirname(os.path.dirname(here))
+    if args.self_test:
+        return self_test(root)
+    findings = run(root)
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+    if findings:
+        print(f"doclint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,19 +1,41 @@
 #!/usr/bin/env bash
-# Golden determinism gate for the observability plane (DESIGN.md §11).
+# Golden determinism gate for the observability plane (DESIGN.md §11)
+# and, in --shards mode, for the parallel engine (DESIGN.md §13).
 #
-# Captures the pinned seeded-churn scenario twice with the same seed
-# and asserts both artifacts are byte-identical:
+# Default mode captures the pinned seeded-churn scenario twice with the
+# same seed and asserts both artifacts are byte-identical:
 #   - the event trace JSONL, compared with scripts/tracediff.py
 #   - the metrics registry snapshot, compared with cmp
 # then captures a different seed and asserts tracediff reports the
 # first divergent record (non-zero exit). Run by ctest as `obs_golden`
 # and by the CI `obs` step.
 #
-# Usage: scripts/obs_golden.sh [path/to/obs_capture]
+# --shards K runs the parallel-engine A/B contract instead, for both
+# the churn and the chaos scenario:
+#   1. plain vs --shards 1: raw trace and raw snapshot byte-identical
+#      (the K=1 engine is a pure passthrough);
+#   2. --shards 1 vs --shards K: canonical trace and normalized
+#      snapshot byte-identical (same semantic events and protocol
+#      metrics under any partition);
+#   3. --shards K with 1 vs 2 worker threads: merged raw trace and raw
+#      snapshot byte-identical (thread count never changes results).
+#
+# Usage: scripts/obs_golden.sh [--shards K] [path/to/obs_capture]
 set -uo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-capture="${1:-$repo_root/build/bench/obs_capture}"
+shards=""
+capture=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --shards)
+      [[ $# -ge 2 ]] || { echo "obs_golden: --shards needs a value" >&2; exit 2; }
+      shards="$2"; shift 2 ;;
+    *)
+      capture="$1"; shift ;;
+  esac
+done
+capture="${capture:-$repo_root/build/bench/obs_capture}"
 
 if [[ ! -x "$capture" ]]; then
   echo "obs_golden: capture binary not found: $capture" >&2
@@ -23,22 +45,64 @@ fi
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
+fail=0
 
 run() {
-  local seed="$1" tag="$2"
-  "$capture" --seed "$seed" \
+  local tag="$1"; shift
+  "$capture" "$@" \
     --trace-out "$workdir/$tag.jsonl" \
     --metrics-out "$workdir/$tag.json" >/dev/null || {
-    echo "obs_golden: capture (seed $seed) failed" >&2
+    echo "obs_golden: capture ($tag: $*) failed" >&2
     exit 1
   }
 }
 
-run 7 a
-run 7 b
-run 8 c
+check_pair() {
+  local what="$1" a="$2" b="$3"
+  if cmp -s "$workdir/$a.jsonl" "$workdir/$b.jsonl" \
+      && cmp -s "$workdir/$a.json" "$workdir/$b.json"; then
+    echo "obs_golden: $what identical"
+  else
+    echo "obs_golden: FAIL — $what differ ($a vs $b)" >&2
+    cmp "$workdir/$a.jsonl" "$workdir/$b.jsonl" >&2 || true
+    cmp "$workdir/$a.json" "$workdir/$b.json" >&2 || true
+    fail=1
+  fi
+}
 
-fail=0
+if [[ -n "$shards" ]]; then
+  for scenario in churn chaos; do
+    run "$scenario-plain" --scenario "$scenario"
+    run "$scenario-k1" --scenario "$scenario" --shards 1
+    check_pair "[$scenario] plain vs 1-shard raw artifacts" \
+      "$scenario-plain" "$scenario-k1"
+
+    run "$scenario-c1" --scenario "$scenario" --shards 1 \
+      --canonical --normalized-snapshot
+    run "$scenario-ck" --scenario "$scenario" --shards "$shards" \
+      --canonical --normalized-snapshot
+    check_pair "[$scenario] 1-shard vs $shards-shard canonical artifacts" \
+      "$scenario-c1" "$scenario-ck"
+
+    run "$scenario-w1" --scenario "$scenario" --shards "$shards" \
+      --workers 1 --merged
+    run "$scenario-w2" --scenario "$scenario" --shards "$shards" \
+      --workers 2 --merged
+    check_pair "[$scenario] $shards-shard 1- vs 2-worker merged artifacts" \
+      "$scenario-w1" "$scenario-w2"
+  done
+
+  if [[ "$fail" -ne 0 ]]; then
+    echo "obs_golden: FAILED (--shards $shards)" >&2
+    exit 1
+  fi
+  echo "obs_golden: parallel engine deterministic at $shards shards"
+  exit 0
+fi
+
+run a --seed 7
+run b --seed 7
+run c --seed 8
 
 if python3 "$repo_root/scripts/tracediff.py" \
     "$workdir/a.jsonl" "$workdir/b.jsonl"; then

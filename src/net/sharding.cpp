@@ -1,0 +1,121 @@
+#include "net/sharding.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace express::net {
+
+ShardPlan partition_topology(const Topology& topology, std::uint32_t shards) {
+  const std::size_t nodes = topology.node_count();
+  std::vector<NodeId> routers;
+  for (NodeId id = 0; id < nodes; ++id) {
+    if (topology.node(id).kind == NodeKind::kRouter) routers.push_back(id);
+  }
+  if (shards == 0) {
+    throw std::invalid_argument("partition_topology: shards must be >= 1");
+  }
+  if (shards > routers.size() && !(shards == 1 && routers.empty())) {
+    throw std::invalid_argument(
+        "partition_topology: more shards than routers");
+  }
+
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.shard_of.assign(nodes, std::numeric_limits<std::uint32_t>::max());
+  plan.cross_flag_.assign(topology.link_count(), 0);
+
+  // Pass 1: balanced BFS growth over the router graph. Seeds are the
+  // lowest unassigned router ids, neighbors are visited in id order,
+  // and each shard stops at ceil(R / K) routers — all ties broken by
+  // node id, so the plan is a pure function of (topology, shards).
+  const std::size_t target =
+      routers.empty() ? 0 : (routers.size() + shards - 1) / shards;
+  std::uint32_t shard = 0;
+  for (NodeId seed : routers) {
+    if (plan.shard_of[seed] != std::numeric_limits<std::uint32_t>::max()) {
+      continue;
+    }
+    std::deque<NodeId> frontier{seed};
+    std::size_t grown = 0;
+    // Count routers already placed in the current shard (a shard can be
+    // grown from several seeds when the router graph is disconnected).
+    for (NodeId r : routers) {
+      if (plan.shard_of[r] == shard) ++grown;
+    }
+    while (!frontier.empty() && grown < target) {
+      const NodeId at = frontier.front();
+      frontier.pop_front();
+      if (plan.shard_of[at] != std::numeric_limits<std::uint32_t>::max()) {
+        continue;
+      }
+      plan.shard_of[at] = shard;
+      ++grown;
+      std::vector<NodeId> next;
+      for (LinkId l : topology.node(at).interfaces) {
+        const NodeId peer = topology.peer(l, at);
+        if (topology.node(peer).kind != NodeKind::kRouter) continue;
+        if (plan.shard_of[peer] != std::numeric_limits<std::uint32_t>::max()) {
+          continue;
+        }
+        next.push_back(peer);
+      }
+      std::sort(next.begin(), next.end());
+      for (NodeId n : next) frontier.push_back(n);
+    }
+    if (grown >= target && shard + 1 < shards) ++shard;
+  }
+
+  // Pass 2: hosts and LAN hubs follow their nearest assigned neighbor
+  // (BFS from all assigned nodes at once, lowest-id-first), so every
+  // host/hub shares a shard with the router its traffic enters through
+  // and edge links never cross shards.
+  std::deque<NodeId> frontier;
+  for (NodeId id = 0; id < nodes; ++id) {
+    if (plan.shard_of[id] != std::numeric_limits<std::uint32_t>::max()) {
+      frontier.push_back(id);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId at = frontier.front();
+    frontier.pop_front();
+    std::vector<NodeId> next;
+    for (LinkId l : topology.node(at).interfaces) {
+      const NodeId peer = topology.peer(l, at);
+      if (plan.shard_of[peer] != std::numeric_limits<std::uint32_t>::max()) {
+        continue;
+      }
+      next.push_back(peer);
+    }
+    std::sort(next.begin(), next.end());
+    for (NodeId n : next) {
+      if (plan.shard_of[n] != std::numeric_limits<std::uint32_t>::max()) {
+        continue;
+      }
+      plan.shard_of[n] = plan.shard_of[at];
+      frontier.push_back(n);
+    }
+  }
+  // Isolated nodes (no links at all) land in shard 0.
+  for (NodeId id = 0; id < nodes; ++id) {
+    if (plan.shard_of[id] == std::numeric_limits<std::uint32_t>::max()) {
+      plan.shard_of[id] = 0;
+    }
+  }
+
+  // Derive cross links and the conservative lookahead.
+  for (LinkId l = 0; l < topology.link_count(); ++l) {
+    const LinkInfo& link = topology.link(l);
+    if (plan.shard_of[link.a] == plan.shard_of[link.b]) continue;
+    if (link.delay <= sim::Duration{0}) {
+      throw std::logic_error(
+          "partition_topology: zero-delay link crosses shards");
+    }
+    plan.cross_flag_[l] = 1;
+    plan.cross_links.push_back(l);
+    if (link.delay < plan.lookahead) plan.lookahead = link.delay;
+  }
+  return plan;
+}
+
+}  // namespace express::net

@@ -1,0 +1,67 @@
+// Topology partitioning and shard context for the parallel engine.
+//
+// A ShardPlan assigns every topology node to one of K shards such that
+// only router-router links cross shard boundaries: hosts and LAN hubs
+// are co-located with their adjacent router, so the cheap, zero- or
+// near-zero-latency edge links never constrain the lookahead. The plan
+// is a pure function of (topology, K) — identical across runs and
+// worker counts — and its lookahead (the minimum delay over cross-shard
+// links) is what sim::ParallelEngine uses as the conservative window.
+//
+// ShardContext is the RAII guard that routes Network scheduling,
+// counter lanes, and trace emission to a specific node's shard while
+// code for that node runs outside an engine window (node construction
+// in attach(), fault-heal notification loops, direct host calls at
+// barriers). Inside windows the engine installs the context itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace express::net {
+
+class Network;
+
+/// Deterministic node -> shard assignment plus the derived lookahead.
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  std::vector<std::uint32_t> shard_of;  ///< per topology node
+  /// Minimum delay over links whose endpoints land in different shards;
+  /// Duration::max() when nothing crosses (K == 1).
+  sim::Duration lookahead = sim::Duration::max();
+  std::vector<LinkId> cross_links;  ///< links crossing shard boundaries
+
+  [[nodiscard]] bool is_cross(LinkId link) const { return cross_flag_[link]; }
+
+  std::vector<std::uint8_t> cross_flag_;  ///< per link, filled by partition
+};
+
+/// Partition `topology` into `shards` parts: balanced deterministic BFS
+/// growth over the router graph (lowest-id seeds, neighbor order by
+/// node id), then hosts/hubs join their nearest assigned neighbor.
+/// Throws std::invalid_argument when shards == 0 or exceeds the router
+/// count, and std::logic_error if a cross-shard link has zero delay
+/// (that would make the conservative lookahead vacuous).
+[[nodiscard]] ShardPlan partition_topology(const Topology& topology,
+                                           std::uint32_t shards);
+
+/// RAII: route the calling thread's Network interactions (scheduler(),
+/// now(), counter lanes) to `node`'s shard. No-op on unsharded
+/// networks. Nestable; restores the previous context on destruction.
+class ShardContext {
+ public:
+  ShardContext(Network& network, NodeId node);
+  ShardContext(const ShardContext&) = delete;
+  ShardContext& operator=(const ShardContext&) = delete;
+  ~ShardContext();
+
+ private:
+  const Network* prev_owner_ = nullptr;
+  std::uint32_t prev_shard_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace express::net

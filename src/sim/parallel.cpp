@@ -1,0 +1,172 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace express::sim {
+
+// ---------------------------------------------------------------------
+// Worker pool: K window jobs per generation, claimed via an atomic
+// cursor. Shards share no mutable state inside a window (the client
+// guarantees it), so job order across threads cannot affect results —
+// the pool only has to be a correct barrier, not a fair one.
+// ---------------------------------------------------------------------
+
+struct ParallelEngine::Pool {
+  explicit Pool(ParallelEngine& engine, unsigned threads) : engine(engine) {
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::unique_lock<std::mutex> lock(m);
+      shutdown = true;
+    }
+    cv_work.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  /// Run shards [0, jobs) to `stop`; returns when all are done.
+  void run_generation(std::uint32_t jobs, Time stop) {
+    {
+      std::unique_lock<std::mutex> lock(m);
+      job_count = jobs;
+      job_stop = stop;
+      done = 0;
+      next.store(0, std::memory_order_relaxed);
+      ++generation;
+    }
+    cv_work.notify_all();
+    std::unique_lock<std::mutex> lock(m);
+    cv_done.wait(lock, [this] { return done == job_count; });
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m);
+        cv_work.wait(lock, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+      }
+      std::uint32_t finished = 0;
+      for (;;) {
+        const std::uint32_t shard =
+            next.fetch_add(1, std::memory_order_relaxed);
+        if (shard >= job_count) break;
+        engine.run_one(shard, job_stop);
+        ++finished;
+      }
+      if (finished != 0) {
+        std::unique_lock<std::mutex> lock(m);
+        done += finished;
+        if (done == job_count) cv_done.notify_one();
+      }
+    }
+  }
+
+  ParallelEngine& engine;
+  std::vector<std::thread> workers;
+  std::mutex m;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t generation = 0;
+  std::uint32_t job_count = 0;
+  std::uint32_t done = 0;
+  Time job_stop{};
+  std::atomic<std::uint32_t> next{0};
+  bool shutdown = false;
+};
+
+ParallelEngine::ParallelEngine(ShardClient& client, unsigned workers)
+    : client_(client) {
+  set_workers(workers);
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+void ParallelEngine::set_workers(unsigned workers) {
+  workers_ = workers == 0 ? 1 : workers;
+  pool_.reset();  // rebuilt lazily at the next parallel window
+}
+
+unsigned ParallelEngine::workers() const { return workers_; }
+
+void ParallelEngine::run_one(std::uint32_t shard, Time stop) {
+  client_.begin_shard(shard);
+  client_.shard_scheduler(shard).run_until(stop);
+  client_.end_shard(shard);
+}
+
+void ParallelEngine::run_window(Time stop) {
+  const std::uint32_t shards = client_.shard_count();
+  if (workers_ <= 1 || shards <= 1) {
+    for (std::uint32_t s = 0; s < shards; ++s) run_one(s, stop);
+    return;
+  }
+  if (!pool_) {
+    pool_ = std::make_unique<Pool>(*this, std::min<unsigned>(workers_, shards));
+  }
+  pool_->run_generation(shards, stop);
+}
+
+void ParallelEngine::run_until(Time deadline) {
+  const std::uint32_t shards = client_.shard_count();
+  for (;;) {
+    client_.exchange(stats_);
+    ++stats_.barriers;
+    Time t_min = kNever;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const auto t = client_.shard_scheduler(s).next_event_time();
+      if (t && *t < t_min) t_min = *t;
+    }
+    if (t_min == kNever || t_min > deadline) break;
+
+    // Window [t_min, t_min + L): safe because any message sent inside
+    // it arrives >= send + L >= t_min + L. `stop` is the inclusive
+    // form, clamped to the caller's deadline.
+    Time stop = deadline;
+    const Duration lookahead = client_.lookahead();
+    if (lookahead != Duration::max() && t_min <= kNever - lookahead) {
+      const Time window_stop = t_min + lookahead - Duration{1};
+      if (window_stop < stop) stop = window_stop;
+    }
+    run_window(stop);
+    ++stats_.windows;
+  }
+  if (deadline != kNever) {
+    // Mirror Scheduler::run_until: leave every shard clock at the
+    // deadline so now() is well-defined and uniform between calls.
+    run_window(deadline);
+  }
+  client_.exchange(stats_);  // flush lanes so post-run reads are fresh
+  ++stats_.barriers;
+}
+
+std::optional<Time> ParallelEngine::next_event_time() {
+  // Barrier-time sends (fault heal notifications, direct host calls
+  // between run_until calls) may have queued cross-shard deliveries:
+  // drain them first so the probe sees everything in flight.
+  client_.exchange(stats_);
+  ++stats_.barriers;
+  Time t_min = kNever;
+  const std::uint32_t shards = client_.shard_count();
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const auto t = client_.shard_scheduler(s).next_event_time();
+    if (t && *t < t_min) t_min = *t;
+  }
+  if (t_min == kNever) return std::nullopt;
+  return t_min;
+}
+
+Time ParallelEngine::now() { return client_.shard_scheduler(0).now(); }
+
+}  // namespace express::sim

@@ -1,0 +1,125 @@
+// Conservative deterministic parallel engine for sharded simulation.
+//
+// The engine partitions the simulated world into K shards, each owning
+// one Scheduler, and advances them in lockstep *windows*: every shard
+// may safely run all events strictly before `t_min + L`, where t_min is
+// the earliest pending event across shards and L (the lookahead) is the
+// minimum latency of any cross-shard edge — a message sent during a
+// window can only arrive at another shard at or after the window's end,
+// so no shard ever needs an input it has not yet been handed. Between
+// windows the engine runs a single-threaded barrier: the client drains
+// its cross-shard queues in one deterministic sorted order and folds
+// per-shard counter lanes into the real registry slots.
+//
+// Determinism contract (gated by scripts/obs_golden.sh --shards K and
+// tests/test_parallel.cpp; argument in DESIGN.md §13):
+//   * For a fixed partition, outputs are byte-identical regardless of
+//     the worker-thread count — shards never share mutable state inside
+//     a window, so thread interleaving cannot be observed.
+//   * K=1 is a pure passthrough: with no cross-shard edges the lookahead
+//     is infinite, the loop degenerates to one run_until(T), and every
+//     export is byte-identical to the plain single-threaded run.
+//   * Across K, semantic outputs (wire counters, registry snapshots,
+//     the canonical trace export) are byte-identical; only scheduler
+//     mechanics (event counts, kTimerFire sequence operands) differ.
+//
+// Layering: sim knows nothing of net. The engine drives an abstract
+// ShardClient; net::Network implements it (shard ownership of links and
+// nodes, outboxes, counter lanes live there).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace express::sim {
+
+/// Engine-level counters, filled by the engine (windows/barriers) and
+/// the client's exchange hook (cross-shard traffic, tie collisions).
+struct ParallelStats {
+  std::uint64_t windows = 0;   ///< lookahead windows executed
+  std::uint64_t barriers = 0;  ///< exchange() calls (window + probe)
+  std::uint64_t cross_shard_events = 0;  ///< deliveries handed over queues
+  /// Barrier-inserted arrivals that collided in simulated time with
+  /// another cross-shard arrival bound for the same shard. Multicast
+  /// fan-out over equal-delay links makes these routine; their relative
+  /// order is decided by the deterministic merge key (queue order, then
+  /// per-queue FIFO), not by global scheduling chronology. Diagnostic
+  /// only — the canonical A/B gate (obs_golden.sh --shards) is the
+  /// ground truth that tie ordering never changes semantic outputs.
+  std::uint64_t tie_collisions = 0;
+};
+
+/// What the engine needs from the sharded world. All hooks are invoked
+/// single-threaded from the barrier except begin_shard/end_shard, which
+/// bracket one shard's window on whichever thread executes it.
+class ShardClient {
+ public:
+  virtual ~ShardClient() = default;
+
+  [[nodiscard]] virtual std::uint32_t shard_count() const = 0;
+  [[nodiscard]] virtual Scheduler& shard_scheduler(std::uint32_t shard) = 0;
+
+  /// Minimum cross-shard edge latency; Duration::max() when no edge
+  /// crosses shards (then every window runs to the caller's deadline).
+  [[nodiscard]] virtual Duration lookahead() const = 0;
+
+  /// Install/remove the executing thread's shard context (scheduler
+  /// routing, counter lanes, trace redirect).
+  virtual void begin_shard(std::uint32_t shard) = 0;
+  virtual void end_shard(std::uint32_t shard) = 0;
+
+  /// Barrier: drain every cross-shard queue into the destination
+  /// schedulers in one deterministic order and fold counter lanes.
+  virtual void exchange(ParallelStats& stats) = 0;
+};
+
+/// Drives a ShardClient with conservative lookahead windows. Worker
+/// threads are optional (set_workers); results are identical with any
+/// count, so workers == 1 (inline, no threads) is the reference mode.
+class ParallelEngine {
+ public:
+  explicit ParallelEngine(ShardClient& client, unsigned workers = 1);
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+  ~ParallelEngine();
+
+  /// Worker-thread count for window execution (clamped to >= 1). With 1
+  /// the engine runs shards inline on the calling thread.
+  void set_workers(unsigned workers);
+  [[nodiscard]] unsigned workers() const;
+
+  /// Run all events at or before `deadline` across every shard, then
+  /// advance every shard clock to the deadline (mirroring
+  /// Scheduler::run_until semantics). Safe to call repeatedly.
+  void run_until(Time deadline);
+  void run() { run_until(kNever); }
+
+  /// Earliest event that can still fire on any shard (cross-shard
+  /// queues are drained first so nothing in flight is missed), or
+  /// nullopt at quiescence.
+  [[nodiscard]] std::optional<Time> next_event_time();
+
+  /// The engine-wide clock: shard clocks agree between run_until calls.
+  [[nodiscard]] Time now();
+
+  [[nodiscard]] const ParallelStats& stats() const { return stats_; }
+
+ private:
+  struct Pool;  // worker threads + generation barrier
+
+  /// Run every shard's scheduler to `stop` (inclusive), in parallel
+  /// when workers > 1 and more than one shard has work.
+  void run_window(Time stop);
+  void run_one(std::uint32_t shard, Time stop);
+
+  ShardClient& client_;
+  unsigned workers_ = 1;
+  ParallelStats stats_;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace express::sim

@@ -121,7 +121,6 @@ ChaosReport run_chaos_campaign(net::Network& network,
                                const std::function<std::size_t()>& audit,
                                const std::function<void(std::size_t)>& churn) {
   ChaosReport report;
-  sim::Scheduler& scheduler = network.scheduler();
 
   if (config.link_impairments) {
     network.set_default_impairments(*config.link_impairments);
@@ -166,7 +165,10 @@ ChaosReport run_chaos_campaign(net::Network& network,
       } else {
         first_clean.reset();
       }
-      const std::optional<sim::Time> next = scheduler.next_event_time();
+      // Network-level probe: on a sharded network this spans every
+      // shard (draining in-flight cross-shard queues first), so the
+      // campaign runs unchanged in either execution mode.
+      const std::optional<sim::Time> next = network.next_event_time();
       if (!next || *next > deadline) break;  // quiescent (or out of budget)
       network.run_until(*next);
     }

@@ -1,5 +1,6 @@
 // VIOLATION (arch-include-cpp): a translation unit is not an include
 // surface.
+// Everything else about this header is clean.
 #pragma once
 
 #include "low/base.cpp"

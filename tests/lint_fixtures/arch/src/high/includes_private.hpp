@@ -1,5 +1,6 @@
 // VIOLATION (arch-private-header): low/impl_detail.hpp is private to
 // `low`; `high` must go through the module's public surface.
+// Everything else about this header is clean.
 #pragma once
 
 #include "low/impl_detail.hpp"

@@ -1,4 +1,6 @@
 // VIOLATION (arch-pragma-once): header lacks the include guard.
+// The banner itself is fine; only the guard is missing.
+// Everything else about this header is clean.
 #include "low/base.hpp"
 
 namespace high {

@@ -1,5 +1,6 @@
 // VIOLATION (arch-self-containment): names low::Base but includes no
 // low/ header — compiles only via someone else's transitive includes.
+// Everything else about this header is clean.
 #pragma once
 
 namespace high {

@@ -1,5 +1,6 @@
 // Clean: `high` is allowed to depend on `low` and includes the header
 // it uses directly (self-contained).
+// Nothing in this file should trip any check.
 #pragma once
 
 #include "low/base.hpp"

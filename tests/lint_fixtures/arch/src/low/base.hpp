@@ -1,4 +1,6 @@
 // Clean leaf header of the `low` module: #pragma once, no dependencies.
+// Gives the mini-tree a target for downward includes; nothing in
+// this file should trip any check.
 #pragma once
 
 namespace low {

@@ -1,5 +1,6 @@
 // Private implementation header of `low` (listed under [private] in
 // layers.toml); only `low` itself may include it.
+// Including it from `high` fires arch-private-header.
 #pragma once
 
 #include "low/base.hpp"

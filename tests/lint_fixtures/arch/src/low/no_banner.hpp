@@ -1,0 +1,12 @@
+#pragma once
+
+// VIOLATION (doc-banner): the comment below is not a banner — the file
+// opens with code, so readers get no statement of what the header
+// provides before the declarations start.
+namespace low {
+
+struct Undocumented {
+  int value = 0;
+};
+
+}  // namespace low

@@ -1,0 +1,3 @@
+// Clean: EXPERIMENTS.md documents `bench_good`, so the coverage check
+// stays quiet. (Fixture for doclint.py --self-test; never compiled.)
+int main() { return 0; }

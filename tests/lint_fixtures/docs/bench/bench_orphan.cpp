@@ -1,0 +1,4 @@
+// VIOLATION (doc-bench-orphan): no EXPERIMENTS.md entry mentions
+// bench_orphan, so the committed benchmark is undocumented.
+// (Fixture for doclint.py --self-test; never compiled.)
+int main() { return 0; }

@@ -1,0 +1,3 @@
+#!/usr/bin/env bash
+# Exists so the fixture README's good gate row resolves.
+exit 0

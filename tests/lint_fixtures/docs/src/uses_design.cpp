@@ -1,0 +1,5 @@
+// Source comments are scanned too: the §-reference below names a
+// section the fixture DESIGN.md does not have.
+// VIOLATION (doc-section-ref): see DESIGN.md §7 for the contract.
+// Clean counterpart: DESIGN.md §2 resolves.
+int fixture_fn() { return 0; }

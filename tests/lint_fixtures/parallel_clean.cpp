@@ -1,0 +1,25 @@
+// Fixture: positive control for parallel-shared-state — everything a
+// parallel-engine source may legitimately hold: constants, atomics,
+// thread-locals, ordered containers, and guarded state carrying a
+// justified suppression.
+#include <atomic>
+#include <map>
+
+namespace express::sim {
+
+inline constexpr int kMaxShards = 64;
+static constexpr int kDefaultWorkers = 1;
+
+class FakeEngine {
+ public:
+  int claim() { return cursor_.fetch_add(1); }
+
+ private:
+  static std::atomic<int> cursor_;
+  static thread_local int tl_shard_;
+  std::map<int, int> pending_;
+  // lint: shared-state-guarded (written only at single-threaded barriers)
+  static inline int barrier_epoch_ = 0;
+};
+
+}  // namespace express::sim

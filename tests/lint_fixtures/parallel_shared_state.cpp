@@ -1,0 +1,21 @@
+// Fixture: parallel-shared-state must flag mutable statics and
+// unordered containers in parallel-engine sources. Shard windows run
+// on worker threads, so any of these is a cross-shard race waiting to
+// happen. (Filename prefix `parallel_` opts this fixture into the
+// check; see detlint.py SELF_TESTS.)
+#include <unordered_map>
+
+namespace express::sim {
+
+static int window_counter = 0;  // BAD: mutable static, no guard
+
+class FakeEngine {
+ public:
+  void tick() { ++window_counter; }
+
+ private:
+  static inline double drift_ = 1.0;  // BAD: mutable static member
+  std::unordered_map<int, int> pending_;  // BAD: unordered container
+};
+
+}  // namespace express::sim

@@ -1,0 +1,342 @@
+// Parallel engine tests (DESIGN.md §13): partition properties, the
+// determinism contract (passthrough, canonical cross-K equality, worker
+// invariance), cross-shard delivery timing at window boundaries,
+// unicast pause/resume across shards, and the per-link impairment
+// streams the contract requires when the data plane is lossy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "net/impairment.hpp"
+#include "net/network.hpp"
+#include "net/sharding.hpp"
+#include "obs/obs.hpp"
+#include "workload/churn.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace express {
+namespace {
+
+using net::NodeId;
+using net::NodeKind;
+using net::ShardPlan;
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+TEST(Partition, AssignsEveryNodeAndOnlyRouterLinksCross) {
+  const auto generated = workload::make_kary_tree(2, 3, {}, 2);
+  const net::Topology& topo = generated.topology;
+  for (std::uint32_t k : {1u, 2u, 4u}) {
+    const ShardPlan plan = net::partition_topology(topo, k);
+    ASSERT_EQ(plan.shards, k);
+    ASSERT_EQ(plan.shard_of.size(), topo.node_count());
+    std::set<std::uint32_t> used;
+    for (std::uint32_t s : plan.shard_of) {
+      ASSERT_LT(s, k);
+      used.insert(s);
+    }
+    EXPECT_EQ(used.size(), k) << "some shard ended up empty";
+
+    sim::Duration min_cross = sim::Duration::max();
+    for (net::LinkId l = 0; l < topo.link_count(); ++l) {
+      const auto& link = topo.link(l);
+      const bool cross = plan.shard_of[link.a] != plan.shard_of[link.b];
+      EXPECT_EQ(cross, plan.is_cross(l));
+      EXPECT_EQ(cross,
+                std::find(plan.cross_links.begin(), plan.cross_links.end(),
+                          l) != plan.cross_links.end());
+      if (cross) {
+        // Hosts and LAN hubs are co-located with their router: only the
+        // router-router backbone may cross shards.
+        EXPECT_EQ(topo.node(link.a).kind, NodeKind::kRouter);
+        EXPECT_EQ(topo.node(link.b).kind, NodeKind::kRouter);
+        min_cross = std::min(min_cross, link.delay);
+      }
+    }
+    EXPECT_EQ(plan.lookahead, min_cross);
+    if (k == 1) {
+      EXPECT_EQ(plan.lookahead, sim::Duration::max());
+    }
+  }
+}
+
+TEST(Partition, IsDeterministic) {
+  const auto generated = workload::make_kary_tree(2, 3, {}, 2);
+  const ShardPlan a = net::partition_topology(generated.topology, 4);
+  const ShardPlan b = net::partition_topology(generated.topology, 4);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.cross_links, b.cross_links);
+  EXPECT_EQ(a.lookahead, b.lookahead);
+}
+
+TEST(Partition, RejectsDegenerateShardCounts) {
+  const auto generated = workload::make_kary_tree(2, 2, {}, 1);
+  EXPECT_THROW((void)net::partition_topology(generated.topology, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)net::partition_topology(generated.topology, 1000),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Determinism contract over the pinned churn scenario
+// ---------------------------------------------------------------------
+
+/// The test-sized cousin of obs_capture's churn scenario: every event
+/// scheduled on the acting node's own shard, so the streams fed to each
+/// shard layout are identical.
+void run_churn(Testbed& bed, std::uint64_t seed) {
+  net::Network& net = bed.net();
+  const NodeId source_node = bed.roles().source_host;
+  ip::ChannelId channel{};
+  {
+    net::ShardContext ctx(net, source_node);
+    channel = bed.source().allocate_channel();
+  }
+  sim::Rng rng(seed);
+  const sim::Duration horizon = sim::seconds(5);
+  const auto events = workload::poisson_churn(
+      static_cast<std::uint32_t>(bed.receiver_count()), horizon,
+      sim::seconds(2), sim::seconds(2), rng);
+  for (const auto& ev : events) {
+    const NodeId node = bed.roles().receiver_hosts[ev.host_index];
+    net.scheduler_for(node).schedule_at(ev.at, [&bed, channel, ev] {
+      if (ev.join) {
+        bed.receiver(ev.host_index).new_subscription(channel);
+      } else {
+        bed.receiver(ev.host_index).delete_subscription(channel);
+      }
+    });
+  }
+  std::uint64_t seq = 0;
+  for (sim::Time at = sim::milliseconds(100); at < horizon;
+       at += sim::milliseconds(100)) {
+    net.scheduler_for(source_node)
+        .schedule_at(at, [&bed, channel, s = seq++] {
+          bed.source().send(channel, 500, s);
+        });
+  }
+  net.run();
+}
+
+struct Capture {
+  std::string raw_trace;
+  std::string merged_trace;
+  std::string canonical_trace;
+  std::string raw_snapshot;
+  std::string normalized_snapshot;
+  sim::ParallelStats stats;
+};
+
+Capture capture_churn(std::uint32_t shards, unsigned workers,
+                      bool lossy = false) {
+  Testbed bed(workload::make_kary_tree(2, 3, {}, 2),
+              TestbedOptions{.shards = shards, .workers = workers});
+  net::Network& net = bed.net();
+  net.obs().trace.enable(1 << 16);
+  if (lossy) {
+    net::ImpairmentConfig config;
+    config.loss.kind = net::LossModel::Kind::kBernoulli;
+    config.loss.p = 0.05;
+    for (net::LinkId l = 0; l < net.topology().link_count(); ++l) {
+      net.set_link_impairments(l, config);
+    }
+    net.seed_impairments_per_link(0xFEED);
+  }
+  run_churn(bed, 7);
+
+  Capture out;
+  out.raw_trace = net.obs().trace.to_jsonl();
+  out.merged_trace = obs::merged_trace_jsonl(net.trace_lanes());
+  out.canonical_trace = obs::canonical_trace_jsonl(net.trace_lanes());
+  out.raw_snapshot = net.obs().registry.snapshot_json(net.now());
+  // Normalization mirrors obs_capture --normalized-snapshot: zero the
+  // scheduler-mechanics metrics (re-registration zeroes the slot) and
+  // stamp zero; everything protocol-level must then match across K.
+  obs::Registry& reg = net.obs().registry;
+  const obs::Entity e = obs::Entity::network();
+  reg.counter("sim.sched.scheduled", e);
+  reg.counter("sim.sched.executed", e);
+  reg.counter("sim.sched.cancelled", e);
+  reg.counter("sim.sched.clamped_past", e);
+  reg.gauge("sim.sched.peak_pending", e);
+  out.normalized_snapshot = reg.snapshot_json(sim::Time{});
+  out.stats = net.parallel_stats();
+  return out;
+}
+
+TEST(ParallelEngine, SingleShardIsAPurePassthrough) {
+  const Capture plain = capture_churn(0, 1);
+  const Capture k1 = capture_churn(1, 1);
+  EXPECT_EQ(plain.raw_trace, k1.raw_trace);
+  EXPECT_EQ(plain.raw_snapshot, k1.raw_snapshot);
+  EXPECT_EQ(k1.stats.cross_shard_events, 0u);
+}
+
+TEST(ParallelEngine, CanonicalOutputsMatchAcrossShardCounts) {
+  const Capture k1 = capture_churn(1, 1);
+  const Capture k2 = capture_churn(2, 1);
+  const Capture k4 = capture_churn(4, 1);
+  EXPECT_EQ(k1.canonical_trace, k2.canonical_trace);
+  EXPECT_EQ(k1.canonical_trace, k4.canonical_trace);
+  EXPECT_EQ(k1.normalized_snapshot, k2.normalized_snapshot);
+  EXPECT_EQ(k1.normalized_snapshot, k4.normalized_snapshot);
+  EXPECT_GT(k2.stats.windows, 0u);
+  EXPECT_GT(k2.stats.cross_shard_events, 0u);
+  // Equal-delay fan-out makes same-instant cross-shard arrivals routine;
+  // the canonical equality above proves their merge-key ordering is
+  // benign. The counter just has to be wired.
+  EXPECT_GT(k2.stats.tie_collisions, 0u);
+}
+
+TEST(ParallelEngine, WorkerCountNeverChangesResults) {
+  const Capture w1 = capture_churn(4, 1);
+  const Capture w2 = capture_churn(4, 2);
+  const Capture w4 = capture_churn(4, 4);
+  EXPECT_EQ(w1.merged_trace, w2.merged_trace);
+  EXPECT_EQ(w1.merged_trace, w4.merged_trace);
+  EXPECT_EQ(w1.raw_snapshot, w2.raw_snapshot);
+  EXPECT_EQ(w1.raw_snapshot, w4.raw_snapshot);
+}
+
+TEST(ParallelEngine, PerLinkImpairmentStreamsKeepLossDeterministic) {
+  const Capture k1 = capture_churn(1, 1, /*lossy=*/true);
+  const Capture k2 = capture_churn(2, 1, /*lossy=*/true);
+  EXPECT_EQ(k1.canonical_trace, k2.canonical_trace);
+  EXPECT_EQ(k1.normalized_snapshot, k2.normalized_snapshot);
+  // The dice actually rolled: the scenario dropped data on lossy links.
+  EXPECT_NE(k1.canonical_trace.find("packet_lost"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard fabric behavior on hand-built topologies
+// ---------------------------------------------------------------------
+
+class Recorder : public net::Node {
+ public:
+  Recorder(net::Network& network, NodeId id) : Node(network, id) {}
+  void handle_packet(const net::Packet& packet, std::uint32_t) override {
+    arrivals.push_back({packet.sequence, network().now()});
+  }
+  struct Arrival {
+    std::uint64_t sequence;
+    sim::Time at;
+    bool operator==(const Arrival&) const = default;
+  };
+  std::vector<Arrival> arrivals;
+};
+
+net::Packet data_packet(ip::Address dst, std::uint32_t bytes,
+                        std::uint64_t seq) {
+  net::Packet p;
+  p.src = ip::Address(1, 1, 1, 1);
+  p.dst = dst;
+  p.protocol = ip::Protocol::kUdp;
+  p.data_bytes = bytes;
+  p.sequence = seq;
+  return p;
+}
+
+TEST(ParallelEngine, CrossShardDeliveryMatchesPlainTimingAtTheBoundary) {
+  // Two routers, one 5 ms cross link: the lookahead equals the link
+  // delay, so the first delivery lands at (or just past) the first
+  // window's end — the conservative boundary case.
+  auto build = [](std::uint32_t shards) {
+    net::Topology topo;
+    const NodeId a = topo.add_router("a");
+    const NodeId b = topo.add_router("b");
+    topo.add_link(a, b, sim::milliseconds(5));
+    auto net = std::make_unique<net::Network>(std::move(topo));
+    if (shards > 0) {
+      net->enable_sharding(net::partition_topology(net->topology(), shards));
+    }
+    return net;
+  };
+  auto drive = [&](std::uint32_t shards) {
+    auto net = build(shards);
+    auto& recorder = net->attach<Recorder>(1);
+    if (shards == 2) {
+      EXPECT_NE(net->shard_of(0), net->shard_of(1));
+    }
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      net->send_to_neighbor(0, 1, data_packet(ip::Address(2, 2, 2, 2),
+                                              1000, s));
+    }
+    // run_until advances every shard clock to the deadline, so the
+    // barrier-time follow-up send below originates at the same instant
+    // in both modes and exercises re-entering the window loop.
+    net->run_until(sim::milliseconds(20));
+    net->send_to_neighbor(0, 1, data_packet(ip::Address(2, 2, 2, 2), 10, 4));
+    net->run_until(sim::milliseconds(40));
+    return recorder.arrivals;
+  };
+  std::vector<Recorder::Arrival> plain, sharded;
+  { auto a = drive(0); plain = a; }
+  { auto a = drive(2); sharded = a; }
+  ASSERT_EQ(plain.size(), 4u);
+  EXPECT_EQ(plain, sharded);
+}
+
+TEST(ParallelEngine, UnicastPausesAndResumesAcrossShards) {
+  // a - b - c chain: a unicast from a to c must cross at least one
+  // shard boundary, pause in the per-edge queue, and resume its walk at
+  // the downstream router — arriving exactly when the plain run says.
+  auto drive = [](std::uint32_t shards) {
+    net::Topology topo;
+    const NodeId a = topo.add_router("a");
+    const NodeId b = topo.add_router("b");
+    const NodeId c = topo.add_router("c");
+    topo.add_link(a, b, sim::milliseconds(3));
+    topo.add_link(b, c, sim::milliseconds(4));
+    net::Network net(std::move(topo));
+    if (shards > 0) {
+      net.enable_sharding(net::partition_topology(net.topology(), shards));
+    }
+    auto& recorder = net.attach<Recorder>(c);
+    const ip::Address dst = net.topology().node(c).address;
+    net.send_unicast(a, data_packet(dst, 800, 1));
+    net.run();
+    return recorder.arrivals;
+  };
+  const auto plain = drive(0);
+  const auto sharded = drive(3);
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(plain, sharded);
+}
+
+TEST(ParallelEngine, SharedImpairmentStreamIsRejectedWhenSharded) {
+  net::Topology topo;
+  const NodeId a = topo.add_router("a");
+  const NodeId b = topo.add_router("b");
+  topo.add_link(a, b, sim::milliseconds(2));
+  net::Network net(std::move(topo));
+  net.enable_sharding(net::partition_topology(net.topology(), 2));
+  net.attach<Recorder>(b);
+  net::ImpairmentConfig config;
+  config.loss.kind = net::LossModel::Kind::kBernoulli;
+  config.loss.p = 0.5;
+  net.set_link_impairments(0, config);
+  net.seed_impairments(42);  // shared stream: order-dependent, rejected
+  // The dice roll at send time, so the send itself must throw.
+  EXPECT_THROW(
+      net.send_to_neighbor(a, b, data_packet(ip::Address(2, 2, 2, 2), 100, 1)),
+      std::logic_error);
+}
+
+TEST(ParallelEngine, ShardingMustPrecedeAttach) {
+  const auto generated = workload::make_kary_tree(2, 2, {}, 1);
+  Testbed bed(generated);  // plain testbed attaches everything
+  EXPECT_THROW(
+      bed.net().enable_sharding(
+          net::partition_topology(bed.net().topology(), 2)),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace express
